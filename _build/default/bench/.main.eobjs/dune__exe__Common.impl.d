@@ -1,0 +1,1 @@
+bench/common.ml: Prb_core Prb_rollback Prb_sim Prb_util Prb_workload Printf

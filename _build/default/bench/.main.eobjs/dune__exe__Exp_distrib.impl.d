@@ -1,0 +1,1 @@
+bench/exp_distrib.ml: Common Generator List Policy Prb_distrib Printf Strategy Table

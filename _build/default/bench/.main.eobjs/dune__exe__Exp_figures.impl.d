@@ -1,0 +1,1 @@
+bench/exp_figures.ml: Array Common Fun Generator List Prb_core Prb_graph Prb_lock Prb_rollback Prb_storage Prb_txn Prb_util Prb_wfg Printf Scheduler Sim String Table

@@ -1,0 +1,1 @@
+bench/exp_storage.ml: Common Generator List Prb_core Prb_rollback Prb_txn Printf Scheduler Sim Strategy Table

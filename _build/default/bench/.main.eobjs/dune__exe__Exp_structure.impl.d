@@ -1,0 +1,1 @@
+bench/exp_structure.ml: Common Fun Generator List Prb_core Prb_rollback Prb_txn Printf Sim Table

@@ -1,0 +1,1 @@
+bench/exp_tradeoff.ml: Common Float Generator List Policy Printf Scheduler Sim Strategy Table

@@ -1,0 +1,1 @@
+bench/main.ml: Array Common Exp_distrib Exp_figures Exp_storage Exp_structure Exp_tradeoff List Micro Printf String Sys

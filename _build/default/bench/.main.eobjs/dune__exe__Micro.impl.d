@@ -1,0 +1,1 @@
+bench/micro.ml: Analyze Bechamel Benchmark Common Fun Hashtbl Instance List Measure Prb_graph Prb_rollback Prb_storage Prb_txn Prb_util Prb_wfg Printf Staged Test Time Toolkit

@@ -1,0 +1,34 @@
+(* Shared plumbing for the experiment harness. *)
+
+module Table = Prb_util.Table
+module Scheduler = Prb_core.Scheduler
+module Sim = Prb_sim.Sim
+module Strategy = Prb_rollback.Strategy
+module Policy = Prb_core.Policy
+module Generator = Prb_workload.Generator
+
+(* Scaled-down sweeps for `dune exec bench/main.exe -- quick`. *)
+let quick = ref false
+
+let scale n = if !quick then max 20 (n / 4) else n
+
+let header id title =
+  Printf.printf "\n=== %s — %s ===\n" id title
+
+let note fmt = Printf.ksprintf (fun s -> print_endline s) fmt
+
+(* One simulation run with the standard knobs. *)
+let run_sim ?(mpl = 8) ?(seed = 1) ?(policy = Policy.Ordered_min_cost)
+    ?(max_ticks = 400_000) ~strategy ~params ~n_txns () =
+  let config =
+    {
+      Sim.scheduler =
+        { Scheduler.default_config with strategy; policy; seed; max_ticks };
+      mpl;
+    }
+  in
+  Sim.run_generated ~config ~params ~seed ~n_txns ()
+
+let pct x = Table.cell_pct x
+let f2 x = Table.cell_float ~decimals:2 x
+let i = Table.cell_int

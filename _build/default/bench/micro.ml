@@ -1,0 +1,181 @@
+(* Micro-benchmarks of the hot paths (bechamel): deadlock detection,
+   cycle enumeration, history-stack writes, rollback execution, SDG
+   analysis. One Test.make per mechanism; estimated ns/op printed as a
+   table. *)
+
+open Bechamel
+open Toolkit
+module Table = Prb_util.Table
+module Value = Prb_storage.Value
+module Store = Prb_storage.Store
+module Program = Prb_txn.Program
+module Expr = Prb_txn.Expr
+module Digraph = Prb_graph.Digraph
+module Ugraph = Prb_graph.Ugraph
+module Waits_for = Prb_wfg.Waits_for
+module History_stack = Prb_rollback.History_stack
+module Txn_state = Prb_rollback.Txn_state
+module Sdg_view = Prb_rollback.Sdg_view
+module Strategy = Prb_rollback.Strategy
+
+(* A 40-txn waits-for chain with a cycle at the end. *)
+let chain_wfg () =
+  let g = Waits_for.create () in
+  for i = 0 to 40 do
+    Waits_for.add_txn g i
+  done;
+  for i = 0 to 39 do
+    Waits_for.set_wait g ~waiter:i ~holders:[ i + 1 ] "e"
+  done;
+  g
+
+let bench_would_deadlock =
+  let g = chain_wfg () in
+  Test.make ~name:"would_deadlock (40-txn chain)"
+    (Staged.stage (fun () -> Waits_for.would_deadlock g ~waiter:40 ~holders:[ 0 ]))
+
+let bench_cycles_through =
+  let g = Waits_for.create () in
+  (* figure-3-like fan: requester waits 6 shared holders, each waits back *)
+  for i = 1 to 6 do
+    Waits_for.add_txn g i
+  done;
+  Waits_for.add_txn g 0;
+  Waits_for.set_wait g ~waiter:0 ~holders:[ 1; 2; 3; 4; 5; 6 ] "f";
+  for i = 1 to 6 do
+    Waits_for.set_wait g ~waiter:i ~holders:[ 0 ] "x"
+  done;
+  Test.make ~name:"cycles_through (6-cycle fan)"
+    (Staged.stage (fun () -> Waits_for.cycles_through g 0))
+
+let bench_history_write =
+  Test.make ~name:"history write (mcs, 16 segments)"
+    (Staged.stage (fun () ->
+         let h =
+           History_stack.create ~budget:max_int ~created_at:0
+             ~initial:(Value.int 0)
+         in
+         for w = 1 to 16 do
+           History_stack.write h ~lock_index:w (Value.int w)
+         done))
+
+let growing_program =
+  Program.make ~name:"bench"
+    ~locals:[ ("v", Value.int 0) ]
+    (List.concat_map
+       (fun i ->
+         [
+           Program.lock_x (Printf.sprintf "E%d" i);
+           Program.read (Printf.sprintf "E%d" i) "v";
+           Program.write (Printf.sprintf "E%d" i) Expr.(Mix (var "v"));
+         ])
+       (List.init 6 Fun.id))
+
+let bench_store () =
+  Store.of_list (List.init 6 (fun i -> (Printf.sprintf "E%d" i, Value.int i)))
+
+let bench_txn_execute =
+  let store = bench_store () in
+  Test.make ~name:"execute 6-lock transaction (sdg)"
+    (Staged.stage (fun () ->
+         let ts =
+           Txn_state.create ~strategy:Strategy.Sdg ~id:0 ~store growing_program
+         in
+         let rec go () =
+           match Txn_state.next_action ts with
+           | Txn_state.Need_lock _ ->
+               Txn_state.lock_granted ts;
+               go ()
+           | Txn_state.Data_step ->
+               Txn_state.exec_data_op ts;
+               go ()
+           | Txn_state.Need_unlock _ | Txn_state.At_end -> ()
+         in
+         go ()))
+
+let bench_rollback =
+  let store = bench_store () in
+  Test.make ~name:"grow + partial rollback (mcs)"
+    (Staged.stage (fun () ->
+         let ts =
+           Txn_state.create ~strategy:Strategy.Mcs ~id:0 ~store growing_program
+         in
+         let rec go () =
+           match Txn_state.next_action ts with
+           | Txn_state.Need_lock _ ->
+               Txn_state.lock_granted ts;
+               go ()
+           | Txn_state.Data_step ->
+               Txn_state.exec_data_op ts;
+               go ()
+           | Txn_state.Need_unlock _ | Txn_state.At_end -> ()
+         in
+         go ();
+         ignore (Txn_state.rollback_to ts 3)))
+
+let bench_sdg_analysis =
+  Test.make ~name:"static SDG analysis (6 locks)"
+    (Staged.stage (fun () -> Sdg_view.well_defined_states growing_program))
+
+let bench_articulation =
+  let g = Ugraph.create () in
+  for i = 0 to 19 do
+    Ugraph.add_edge g i (i + 1)
+  done;
+  Ugraph.add_edge g 2 9;
+  Ugraph.add_edge g 5 15;
+  Test.make ~name:"articulation points (21 vertices)"
+    (Staged.stage (fun () -> Ugraph.articulation_points g))
+
+let bench_scc =
+  let g = Digraph.create () in
+  for i = 0 to 49 do
+    Digraph.add_edge g i ((i + 1) mod 50)
+  done;
+  Test.make ~name:"tarjan scc (50-cycle)"
+    (Staged.stage (fun () -> Digraph.scc g))
+
+let run () =
+  Common.header "MICRO" "hot-path costs (bechamel, ns/op)";
+  let tests =
+    [
+      bench_would_deadlock;
+      bench_cycles_through;
+      bench_history_write;
+      bench_txn_execute;
+      bench_rollback;
+      bench_sdg_analysis;
+      bench_articulation;
+      bench_scc;
+    ]
+  in
+  let quota = if !Common.quick then 0.1 else 0.5 in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second quota) () in
+  let instances = Instance.[ monotonic_clock ] in
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let table =
+    Table.create
+      [ ("benchmark", Table.Left); ("ns/op", Table.Right); ("r²", Table.Right) ]
+  in
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg instances test in
+      let analyzed = Analyze.all ols Instance.monotonic_clock results in
+      Hashtbl.iter
+        (fun name ols_result ->
+          let ns =
+            match Analyze.OLS.estimates ols_result with
+            | Some [ est ] -> Table.cell_float ~decimals:1 est
+            | Some _ | None -> "-"
+          in
+          let r2 =
+            match Analyze.OLS.r_square ols_result with
+            | Some r -> Table.cell_float ~decimals:4 r
+            | None -> "-"
+          in
+          Table.add_row table [ name; ns; r2 ])
+        analyzed)
+    tests;
+  Table.print table

@@ -1,0 +1,492 @@
+(* prb — command-line driver for the partial-rollback concurrency control.
+
+   Subcommands:
+     prb sim      run a synthetic workload through the centralised engine
+     prb distrib  run it through the multi-site engine
+     prb sweep    compare the rollback strategies on one workload
+*)
+
+open Cmdliner
+
+module Strategy = Prb_rollback.Strategy
+module Policy = Prb_core.Policy
+module Scheduler = Prb_core.Scheduler
+module Generator = Prb_workload.Generator
+module Sim = Prb_sim.Sim
+module D = Prb_distrib.Dist_scheduler
+module Table = Prb_util.Table
+
+(* --- Shared options -------------------------------------------------- *)
+
+let strategy_conv =
+  let parse s =
+    match Strategy.of_string s with
+    | Some v -> Ok v
+    | None -> Error (`Msg (Printf.sprintf "unknown strategy %S" s))
+  in
+  Arg.conv (parse, fun ppf s -> Fmt.string ppf (Strategy.to_string s))
+
+let policy_conv =
+  let parse s =
+    match Policy.of_string s with
+    | Some v -> Ok v
+    | None -> Error (`Msg (Printf.sprintf "unknown policy %S" s))
+  in
+  Arg.conv (parse, fun ppf p -> Fmt.string ppf (Policy.to_string p))
+
+let strategy_arg =
+  Arg.(
+    value
+    & opt strategy_conv Strategy.Sdg
+    & info [ "strategy" ] ~docv:"STRAT"
+        ~doc:"Rollback strategy: total, mcs, sdg or sdg+K.")
+
+let policy_arg =
+  Arg.(
+    value
+    & opt policy_conv Policy.Ordered_min_cost
+    & info [ "policy" ] ~docv:"POLICY"
+        ~doc:
+          "Victim policy: min-cost, ordered, youngest, requester or random.")
+
+let seed_arg =
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
+
+let txns_arg =
+  Arg.(
+    value & opt int 200
+    & info [ "txns"; "n" ] ~docv:"N" ~doc:"Transactions to run.")
+
+let mpl_arg =
+  Arg.(
+    value & opt int 8
+    & info [ "mpl" ] ~docv:"K" ~doc:"Multiprogramming level (concurrency).")
+
+let entities_arg =
+  Arg.(
+    value & opt int 64
+    & info [ "entities" ] ~docv:"N" ~doc:"Database size (entities).")
+
+let theta_arg =
+  Arg.(
+    value & opt float 0.6
+    & info [ "theta" ] ~docv:"T" ~doc:"Zipf skew (0 = uniform).")
+
+let read_frac_arg =
+  Arg.(
+    value & opt float 0.3
+    & info [ "reads" ] ~docv:"F" ~doc:"Fraction of locks that are shared.")
+
+let locks_arg =
+  Arg.(
+    value & opt (pair ~sep:':' int int) (3, 6)
+    & info [ "locks" ] ~docv:"MIN:MAX" ~doc:"Locks per transaction.")
+
+let clustering_arg =
+  Arg.(
+    value & opt float 0.5
+    & info [ "clustering" ] ~docv:"C"
+        ~doc:"Probability a write lands right after its entity's lock.")
+
+let three_phase_arg =
+  Arg.(
+    value & flag
+    & info [ "three-phase" ]
+        ~doc:"Restructure transactions as acquire/update/release.")
+
+let max_ticks_arg =
+  Arg.(
+    value & opt int 1_000_000
+    & info [ "max-ticks" ] ~docv:"T" ~doc:"Simulation tick budget.")
+
+let intervention_conv =
+  let parse s =
+    match s with
+    | "detect" -> Ok Scheduler.Detect
+    | "wound-wait" -> Ok Scheduler.Wound_wait_c
+    | "wait-die" -> Ok Scheduler.Wait_die_c
+    | _ ->
+        let prefix = "timeout:" in
+        let lp = String.length prefix in
+        if String.length s > lp && String.sub s 0 lp = prefix then
+          match int_of_string_opt (String.sub s lp (String.length s - lp)) with
+          | Some n when n > 0 -> Ok (Scheduler.Timeout_abort n)
+          | Some _ | None -> Error (`Msg "timeout wants a positive tick count")
+        else Error (`Msg (Printf.sprintf "unknown intervention %S" s))
+  in
+  let print ppf = function
+    | Scheduler.Detect -> Fmt.string ppf "detect"
+    | Scheduler.Timeout_abort n -> Fmt.pf ppf "timeout:%d" n
+    | Scheduler.Wound_wait_c -> Fmt.string ppf "wound-wait"
+    | Scheduler.Wait_die_c -> Fmt.string ppf "wait-die"
+  in
+  Arg.conv (parse, print)
+
+let intervention_arg =
+  Arg.(
+    value
+    & opt intervention_conv Scheduler.Detect
+    & info [ "intervention" ] ~docv:"MODE"
+        ~doc:
+          "Deadlock handling: $(b,detect) (the paper), $(b,timeout:N), \
+           $(b,wound-wait) or $(b,wait-die).")
+
+let params_of ~entities ~theta ~reads ~locks ~clustering ~three_phase =
+  let min_locks, max_locks = locks in
+  {
+    Generator.default_params with
+    n_entities = entities;
+    zipf_theta = theta;
+    read_fraction = reads;
+    min_locks;
+    max_locks;
+    clustering;
+    three_phase;
+  }
+
+(* --- prb sim ---------------------------------------------------------- *)
+
+let run_sim strategy policy intervention seed txns mpl entities theta reads
+    locks clustering three_phase max_ticks =
+  let params =
+    params_of ~entities ~theta ~reads ~locks ~clustering ~three_phase
+  in
+  let config =
+    {
+      Sim.scheduler =
+        {
+          Scheduler.default_config with
+          strategy;
+          policy;
+          intervention;
+          seed;
+          max_ticks;
+        };
+      mpl;
+    }
+  in
+  let result = Sim.run_generated ~config ~params ~seed ~n_txns:txns () in
+  Fmt.pr "%a@." Sim.pp_result result;
+  if result.Sim.stats.Scheduler.commits < txns then (
+    Fmt.epr "warning: only %d/%d transactions committed (tick budget?)@."
+      result.Sim.stats.Scheduler.commits txns;
+    1)
+  else 0
+
+let sim_cmd =
+  let doc = "run a synthetic workload through the centralised engine" in
+  Cmd.v
+    (Cmd.info "sim" ~doc)
+    Term.(
+      const run_sim $ strategy_arg $ policy_arg $ intervention_arg $ seed_arg
+      $ txns_arg $ mpl_arg $ entities_arg $ theta_arg $ read_frac_arg
+      $ locks_arg $ clustering_arg $ three_phase_arg $ max_ticks_arg)
+
+(* --- prb sweep -------------------------------------------------------- *)
+
+let run_sweep policy seed txns mpl entities theta reads locks clustering
+    three_phase max_ticks =
+  let params =
+    params_of ~entities ~theta ~reads ~locks ~clustering ~three_phase
+  in
+  let table =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "strategy sweep (policy=%s, mpl=%d, txns=%d, theta=%.2f)"
+           (Policy.to_string policy) mpl txns theta)
+      [
+        ("strategy", Table.Left);
+        ("commits", Table.Right);
+        ("deadlocks", Table.Right);
+        ("rollbacks", Table.Right);
+        ("ops lost", Table.Right);
+        ("mean cost", Table.Right);
+        ("wasted", Table.Right);
+        ("peak copies", Table.Right);
+        ("throughput", Table.Right);
+      ]
+  in
+  List.iter
+    (fun strategy ->
+      let config =
+        {
+          Sim.scheduler =
+            { Scheduler.default_config with strategy; policy; seed; max_ticks };
+          mpl;
+        }
+      in
+      let r = Sim.run_generated ~config ~params ~seed ~n_txns:txns () in
+      let s = r.Sim.stats in
+      Table.add_row table
+        [
+          Strategy.to_string strategy;
+          Table.cell_int s.Scheduler.commits;
+          Table.cell_int s.Scheduler.deadlocks;
+          Table.cell_int s.Scheduler.rollbacks;
+          Table.cell_int s.Scheduler.ops_lost;
+          Table.cell_float r.Sim.mean_rollback_cost;
+          Table.cell_pct r.Sim.wasted_fraction;
+          Table.cell_int r.Sim.peak_copies;
+          Table.cell_float r.Sim.throughput;
+        ])
+    (Strategy.all_basic @ [ Strategy.Sdg_k 2 ]);
+  Table.print table;
+  0
+
+let sweep_cmd =
+  let doc = "compare rollback strategies on one workload" in
+  Cmd.v
+    (Cmd.info "sweep" ~doc)
+    Term.(
+      const run_sweep $ policy_arg $ seed_arg $ txns_arg $ mpl_arg
+      $ entities_arg $ theta_arg $ read_frac_arg $ locks_arg $ clustering_arg
+      $ three_phase_arg $ max_ticks_arg)
+
+(* --- prb distrib ------------------------------------------------------ *)
+
+let sites_arg =
+  Arg.(value & opt int 4 & info [ "sites" ] ~docv:"N" ~doc:"Number of sites.")
+
+let detection_arg =
+  let parse s =
+    if s = "wound-wait" then Ok D.Wound_wait
+    else
+      match int_of_string_opt s with
+      | Some p when p > 0 -> Ok (D.Local_then_global p)
+      | Some _ | None ->
+          Error
+            (`Msg "expected a positive detection period or \"wound-wait\"")
+  in
+  let print ppf = function
+    | D.Wound_wait -> Fmt.string ppf "wound-wait"
+    | D.Local_then_global p -> Fmt.pf ppf "%d" p
+  in
+  Arg.(
+    value
+    & opt (conv (parse, print)) (D.Local_then_global 50)
+    & info [ "detection" ] ~docv:"MODE"
+        ~doc:
+          "Global-deadlock handling: a detection period in ticks, or \
+           $(b,wound-wait).")
+
+let run_distrib strategy policy seed txns mpl sites detection entities theta
+    reads locks max_ticks =
+  let params =
+    params_of ~entities ~theta ~reads ~locks ~clustering:0.5
+      ~three_phase:false
+  in
+  let store = Generator.populate params in
+  let programs = Generator.generate params ~seed ~n:txns in
+  let config =
+    {
+      Prb_distrib.Dist_sim.scheduler =
+        {
+          D.default_config with
+          n_sites = sites;
+          detection;
+          strategy;
+          policy;
+          seed;
+          max_ticks;
+        };
+      mpl;
+    }
+  in
+  let result = Prb_distrib.Dist_sim.run ~config ~store programs in
+  Fmt.pr "%a@." Prb_distrib.Dist_sim.pp_result result;
+  if result.Prb_distrib.Dist_sim.stats.D.commits < txns then 1 else 0
+
+let distrib_cmd =
+  let doc = "run a workload through the multi-site engine" in
+  Cmd.v
+    (Cmd.info "distrib" ~doc)
+    Term.(
+      const run_distrib $ strategy_arg $ policy_arg $ seed_arg $ txns_arg
+      $ mpl_arg $ sites_arg $ detection_arg $ entities_arg $ theta_arg
+      $ read_frac_arg $ locks_arg $ max_ticks_arg)
+
+(* --- prb run: execute transactions from a file ------------------------ *)
+
+let file_arg =
+  Arg.(
+    required
+    & pos 0 (some file) None
+    & info [] ~docv:"FILE" ~doc:"Transactions file (see prb.txn syntax).")
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let initial_value_arg =
+  Arg.(
+    value & opt int 100
+    & info [ "initial" ] ~docv:"N"
+        ~doc:"Initial integer value for every referenced entity.")
+
+let entities_of_programs programs =
+  List.concat_map
+    (fun p ->
+      Array.to_list p.Prb_txn.Program.ops
+      |> List.filter_map (function
+           | Prb_txn.Program.Lock (_, e) -> Some e
+           | _ -> None))
+    programs
+  |> List.sort_uniq compare
+
+let verbose_arg =
+  Arg.(
+    value & flag
+    & info [ "verbose"; "v" ]
+        ~doc:"Trace grants, blocks, deadlocks and rollbacks as they happen.")
+
+let setup_logging verbose =
+  Fmt_tty.setup_std_outputs ();
+  Logs.set_reporter (Logs_fmt.reporter ());
+  if verbose then Logs.set_level (Some Logs.Debug) else Logs.set_level None
+
+let run_file verbose strategy policy seed max_ticks initial path =
+  setup_logging verbose;
+  match Prb_txn.Parser.parse_many (read_file path) with
+  | Error e ->
+      Fmt.epr "%s: %a@." path Prb_txn.Parser.pp_error e;
+      1
+  | Ok [] ->
+      Fmt.epr "%s: no transactions@." path;
+      1
+  | Ok programs -> (
+      let invalid =
+        List.filter_map
+          (fun p ->
+            match Prb_txn.Program.validate p with
+            | Ok () -> None
+            | Error vs -> Some (p.Prb_txn.Program.name, vs))
+          programs
+      in
+      match invalid with
+      | (name, (op, v) :: _) :: _ ->
+          Fmt.epr "%s: transaction %s: op %d: %a@." path name op
+            Prb_txn.Program.pp_violation v;
+          1
+      | _ ->
+          let store =
+            Prb_storage.Store.of_list
+              (List.map
+                 (fun e -> (e, Prb_storage.Value.int initial))
+                 (entities_of_programs programs))
+          in
+          Fmt.pr "initial state:@.";
+          List.iter
+            (fun (e, v) -> Fmt.pr "  %s = %a@." e Prb_storage.Value.pp v)
+            (Prb_storage.Store.snapshot store);
+          let config =
+            { Scheduler.default_config with strategy; policy; seed; max_ticks }
+          in
+          let sched = Scheduler.create ~config store in
+          Scheduler.set_deadlock_hook sched (fun ~requester ~cycles ~decision ->
+              Fmt.pr "deadlock: T%d closed %d cycle(s); victims: %a@."
+                requester (List.length cycles)
+                Fmt.(
+                  list ~sep:(any "; ") (fun ppf (v, es) ->
+                      pf ppf "T%d releases {%a}" v
+                        (list ~sep:(any ",") string)
+                        es))
+                decision.Prb_core.Resolver.victims);
+          let ids =
+            List.map
+              (fun p ->
+                let id = Scheduler.submit sched p in
+                Fmt.pr "submitted T%d = %s@." id p.Prb_txn.Program.name;
+                id)
+              programs
+          in
+          ignore ids;
+          Scheduler.run sched;
+          Fmt.pr "@[<v>--- finished ---@,%a@]@." Scheduler.pp_stats
+            (Scheduler.stats sched);
+          Fmt.pr "final state:@.";
+          List.iter
+            (fun (e, v) -> Fmt.pr "  %s = %a@." e Prb_storage.Value.pp v)
+            (Prb_storage.Store.snapshot store);
+          Fmt.pr "serializable: %b@."
+            (Prb_history.History.serializable (Scheduler.history sched));
+          if Scheduler.all_committed sched then 0 else 1)
+
+let run_cmd =
+  let doc = "execute a file of transactions and watch deadlock removal" in
+  Cmd.v
+    (Cmd.info "run" ~doc)
+    Term.(
+      const run_file $ verbose_arg $ strategy_arg $ policy_arg $ seed_arg
+      $ max_ticks_arg $ initial_value_arg $ file_arg)
+
+(* --- prb analyze: structure analysis of transactions ------------------ *)
+
+let dot_arg =
+  Arg.(
+    value & flag
+    & info [ "dot" ]
+        ~doc:"Also print each transaction's state-dependency graph as DOT.")
+
+let analyze_file dot path =
+  match Prb_txn.Parser.parse_many (read_file path) with
+  | Error e ->
+      Fmt.epr "%s: %a@." path Prb_txn.Parser.pp_error e;
+      1
+  | Ok programs ->
+      let table =
+        Table.create ~title:"single-copy (SDG) rollback friendliness"
+          [
+            ("transaction", Table.Left);
+            ("locks", Table.Right);
+            ("damage span", Table.Right);
+            ("well-defined", Table.Left);
+            ("three-phase", Table.Left);
+            ("after restructuring", Table.Left);
+          ]
+      in
+      List.iter
+        (fun p ->
+          let module P = Prb_txn.Program in
+          let module S = Prb_rollback.Sdg_view in
+          let wd q =
+            Printf.sprintf "%d/%d"
+              (List.length (S.well_defined_states q))
+              (P.n_locks q + 1)
+          in
+          let restructured = P.make_acquire_update_release (P.cluster_writes p) in
+          Table.add_row table
+            [
+              p.P.name;
+              Table.cell_int (P.n_locks p);
+              Table.cell_int (P.damage_span p);
+              wd p;
+              string_of_bool (P.is_three_phase p);
+              Printf.sprintf "%s well-defined, three-phase %b" (wd restructured)
+                (P.is_three_phase restructured);
+            ])
+        programs;
+      Table.print table;
+      if dot then
+        List.iter
+          (fun p ->
+            Fmt.pr "// %s@.%s@." p.Prb_txn.Program.name
+              (Prb_rollback.Sdg_view.to_dot p))
+          programs;
+      0
+
+let analyze_cmd =
+  let doc = "analyse transaction structure for rollback friendliness" in
+  Cmd.v (Cmd.info "analyze" ~doc) Term.(const analyze_file $ dot_arg $ file_arg)
+
+(* --- main ------------------------------------------------------------- *)
+
+let () =
+  let doc = "deadlock removal using partial rollback (SIGMOD 1981)" in
+  let info = Cmd.info "prb" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval'
+       (Cmd.group info [ sim_cmd; sweep_cmd; distrib_cmd; run_cmd; analyze_cmd ]))

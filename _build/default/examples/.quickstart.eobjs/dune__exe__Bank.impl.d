@@ -1,0 +1,1 @@
+examples/bank.ml: List Prb_core Prb_history Prb_rollback Prb_sim Prb_storage Prb_util Prb_workload Printf

@@ -1,0 +1,1 @@
+examples/distributed.ml: List Prb_distrib Prb_rollback Prb_util Prb_workload Printf

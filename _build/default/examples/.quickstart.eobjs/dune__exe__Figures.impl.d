@@ -1,0 +1,1 @@
+examples/figures.ml: Fmt List Prb_core Prb_graph Prb_lock Prb_rollback Prb_storage Prb_txn Prb_util Prb_wfg

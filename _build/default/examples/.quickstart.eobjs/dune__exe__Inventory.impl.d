@@ -1,0 +1,1 @@
+examples/inventory.ml: Fun Hashtbl List Prb_core Prb_rollback Prb_sim Prb_storage Prb_util Prb_workload Printf

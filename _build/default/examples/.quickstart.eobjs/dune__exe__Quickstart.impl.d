@@ -1,0 +1,1 @@
+examples/quickstart.ml: Fmt List Prb_core Prb_history Prb_rollback Prb_storage Prb_txn

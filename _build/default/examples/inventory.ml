@@ -1,0 +1,107 @@
+(* Order processing: multi-item orders whose lock orders collide, run
+   under every victim policy. Demonstrates why optimisation needs
+   Theorem 2's ordering: the pure policies livelock or thrash under
+   symmetric contention while the ordered policy finishes.
+
+   Run with:  dune exec examples/inventory.exe
+*)
+
+module Scenarios = Prb_workload.Scenarios
+module Store = Prb_storage.Store
+module Value = Prb_storage.Value
+module Strategy = Prb_rollback.Strategy
+module Policy = Prb_core.Policy
+module Scheduler = Prb_core.Scheduler
+module Sim = Prb_sim.Sim
+module Rng = Prb_util.Rng
+module Table = Prb_util.Table
+
+let n_items = 12
+let initial_stock = 10_000
+
+(* Orders over overlapping item sets in clashing orders, plus restocks. *)
+let workload seed n =
+  let rng = Rng.make seed in
+  List.init n (fun i ->
+      if Rng.chance rng 0.85 then
+        let n_lines = 2 + Rng.int rng 3 in
+        let first = Rng.int rng n_items in
+        let step = 1 + Rng.int rng (n_items - 1) in
+        let dedupe_by_item lines =
+          let seen = Hashtbl.create 8 in
+          List.filter
+            (fun (item, _) ->
+              if Hashtbl.mem seen item then false
+              else begin
+                Hashtbl.replace seen item ();
+                true
+              end)
+            lines
+        in
+        let items =
+          List.init n_lines (fun k ->
+              ((first + (k * step)) mod n_items, 1 + Rng.int rng 3))
+          |> dedupe_by_item
+          |> List.sort (fun (a, _) (b, _) -> compare a b)
+          |> if Rng.bool rng then List.rev else Fun.id
+        in
+        Scenarios.order ~name:(Printf.sprintf "order%04d" i) ~items
+      else
+        Scenarios.restock
+          ~name:(Printf.sprintf "restock%04d" i)
+          ~item:(Rng.int rng n_items) ~quantity:(Rng.int_in rng 10 50))
+
+let () =
+  let n = 120 in
+  let table =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "inventory orders under every victim policy (%d txns, sdg \
+            rollback, 400k-tick budget)"
+           n)
+      [
+        ("policy", Table.Left);
+        ("commits", Table.Right);
+        ("deadlocks", Table.Right);
+        ("rollbacks", Table.Right);
+        ("ops lost", Table.Right);
+        ("outcome", Table.Left);
+      ]
+  in
+  List.iter
+    (fun policy ->
+      let store = Scenarios.inventory_store ~n_items ~stock:initial_stock in
+      let config =
+        {
+          Sim.scheduler =
+            {
+              Scheduler.default_config with
+              strategy = Strategy.Sdg;
+              policy;
+              seed = 5;
+              max_ticks = 400_000;
+            };
+          mpl = 10;
+        }
+      in
+      let r = Sim.run ~config ~store (workload 5 n) in
+      let s = r.Sim.stats in
+      Table.add_row table
+        [
+          Policy.to_string policy;
+          Table.cell_int s.Scheduler.commits;
+          Table.cell_int s.Scheduler.deadlocks;
+          Table.cell_int s.Scheduler.rollbacks;
+          Table.cell_int s.Scheduler.ops_lost;
+          (if s.Scheduler.commits = n then "all committed"
+           else "LIVELOCK (tick budget exhausted)");
+        ];
+      assert r.Sim.serializable)
+    Policy.all;
+  Table.print table;
+  print_endline
+    "min-cost and requester may preempt the same pair forever (the\n\
+     paper's \"potentially infinite mutual preemption\", Figure 2);\n\
+     ordered and youngest respect a time-invariant order (Theorem 2) and\n\
+     always finish."

@@ -1,0 +1,1 @@
+lib/core/resolver.ml: Array List Policy Prb_graph Prb_storage Prb_util

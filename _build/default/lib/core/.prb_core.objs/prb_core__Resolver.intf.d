@@ -1,0 +1,1 @@
+lib/core/resolver.mli: Policy Prb_storage Prb_util

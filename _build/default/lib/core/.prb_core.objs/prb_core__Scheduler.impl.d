@@ -1,0 +1,1 @@
+lib/core/scheduler.ml: Fmt Hashtbl List Logs Policy Prb_history Prb_lock Prb_rollback Prb_storage Prb_txn Prb_util Prb_wfg Printf Resolver String

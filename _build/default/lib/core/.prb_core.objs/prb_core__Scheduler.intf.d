@@ -1,0 +1,1 @@
+lib/core/scheduler.mli: Format Policy Prb_history Prb_lock Prb_rollback Prb_storage Prb_txn Prb_wfg Resolver

@@ -1,0 +1,30 @@
+type t = Min_cost | Ordered_min_cost | Youngest | Requester | Random_victim
+
+let equal a b =
+  match (a, b) with
+  | Min_cost, Min_cost
+  | Ordered_min_cost, Ordered_min_cost
+  | Youngest, Youngest
+  | Requester, Requester
+  | Random_victim, Random_victim -> true
+  | (Min_cost | Ordered_min_cost | Youngest | Requester | Random_victim), _ ->
+      false
+
+let to_string = function
+  | Min_cost -> "min-cost"
+  | Ordered_min_cost -> "ordered"
+  | Youngest -> "youngest"
+  | Requester -> "requester"
+  | Random_victim -> "random"
+
+let of_string = function
+  | "min-cost" -> Some Min_cost
+  | "ordered" -> Some Ordered_min_cost
+  | "youngest" -> Some Youngest
+  | "requester" -> Some Requester
+  | "random" -> Some Random_victim
+  | _ -> None
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)
+
+let all = [ Min_cost; Ordered_min_cost; Youngest; Requester; Random_victim ]

@@ -1,0 +1,24 @@
+(** Victim-selection policies for deadlock removal (Sections 3.1–3.2).
+
+    - [Min_cost]: the paper's pure optimisation — break every cycle at
+      minimum total rollback cost, with no other constraint. Exposed to
+      {e potentially infinite mutual preemption} (Figure 2).
+    - [Ordered_min_cost]: Theorem 2's cure — only transactions that
+      entered the system {e after} the conflict-causing requester are
+      preemptible (falling back to the requester itself when none is);
+      minimise cost within that set. Livelock-free.
+    - [Youngest]: classic heuristic of [7,10]: always preempt the
+      latest-arrived member of each cycle.
+    - [Requester]: always roll back the transaction whose request closed
+      the cycle(s) — simple, livelock-free, usually not cost-optimal.
+    - [Random_victim]: uniform choice, the control arm of the ablation. *)
+
+type t = Min_cost | Ordered_min_cost | Youngest | Requester | Random_victim
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+val of_string : string -> t option
+
+val all : t list
+(** Every policy, for the ablation sweeps. *)

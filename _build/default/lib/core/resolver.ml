@@ -1,0 +1,101 @@
+module Cutset = Prb_graph.Cutset
+module Rng = Prb_util.Rng
+
+type txn = int
+type entity = Prb_storage.Store.entity
+type cycle = (txn * entity) list
+
+type decision = { victims : (txn * entity list) list; optimal : bool }
+
+(* Entities transaction [v] must release, over the given cycles. *)
+let needed_entities cycles v =
+  List.concat_map
+    (fun cycle ->
+      List.filter_map
+        (fun (m, e) -> if m = v then Some e else None)
+        cycle)
+    cycles
+  |> List.sort_uniq compare
+
+let decision_of cycles ~optimal chosen =
+  {
+    victims =
+      List.map (fun v -> (v, needed_entities cycles v)) chosen
+      |> List.sort compare;
+    optimal;
+  }
+
+(* Iteratively break surviving cycles, picking a member of the first
+   surviving cycle by [pick]. *)
+let iterative_pick cycles pick =
+  let rec loop chosen =
+    let surviving =
+      List.filter
+        (fun cycle -> not (List.exists (fun (m, _) -> List.mem m chosen) cycle))
+        cycles
+    in
+    match surviving with
+    | [] -> List.rev chosen
+    | cycle :: _ -> loop (pick cycle :: chosen)
+  in
+  loop []
+
+let min_cost_cut ~requester cycles ~release_cost ~eligible =
+  (* Hitting set over cycles restricted to eligible members. A cycle with
+     no eligible member falls back to the requester (which is on every
+     cycle), so a cut always exists. *)
+  let restricted =
+    List.map
+      (fun cycle ->
+        match List.filter (fun (m, _) -> eligible m) cycle with
+        | [] -> List.filter (fun (m, _) -> m = requester) cycle
+        | kept -> kept)
+      cycles
+  in
+  let instance =
+    {
+      Cutset.cycles = List.map (List.map fst) restricted;
+      cost = (fun v -> float_of_int (release_cost v (needed_entities cycles v)));
+    }
+  in
+  match Cutset.exact instance with
+  | Some chosen -> (chosen, true)
+  | None -> (Cutset.greedy instance, false)
+
+let choose ~policy ~requester ~entry_order ~release_cost ~rng cycles =
+  if cycles = [] then invalid_arg "Resolver.choose: no cycles";
+  List.iter
+    (fun cycle ->
+      if not (List.exists (fun (m, _) -> m = requester) cycle) then
+        invalid_arg "Resolver.choose: requester missing from a cycle")
+    cycles;
+  match policy with
+  | Policy.Requester -> decision_of cycles ~optimal:false [ requester ]
+  | Policy.Min_cost ->
+      let chosen, optimal =
+        min_cost_cut ~requester cycles ~release_cost ~eligible:(fun _ -> true)
+      in
+      decision_of cycles ~optimal chosen
+  | Policy.Ordered_min_cost ->
+      (* Theorem 2 with entry time as the partial order: a conflict may
+         only preempt transactions that entered strictly later than the
+         requester (so the oldest live transaction is never preempted and
+         must eventually commit); a cycle whose members are all older
+         falls back to rolling the requester itself. *)
+      let eligible v = entry_order v > entry_order requester in
+      let chosen, optimal = min_cost_cut ~requester cycles ~release_cost ~eligible in
+      decision_of cycles ~optimal chosen
+  | Policy.Youngest ->
+      let pick cycle =
+        fst
+          (List.fold_left
+             (fun ((_, best) as acc) (m, e) ->
+               if entry_order m > best then (m, entry_order m)
+               else (ignore e; acc))
+             (requester, entry_order requester)
+             cycle)
+      in
+      decision_of cycles ~optimal:false (iterative_pick cycles pick)
+  | Policy.Random_victim ->
+      let pick cycle = fst (Rng.pick rng (Array.of_list cycle)) in
+      decision_of cycles ~optimal:false (iterative_pick cycles pick)

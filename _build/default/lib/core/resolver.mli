@@ -1,0 +1,44 @@
+(** Choosing which transactions to roll back, and how far, to break a
+    deadlock.
+
+    The input is the set of simple cycles the blocked request closed, each
+    given as the list of members paired with the entity that member would
+    have to release to delete its arc — the "state of highest index in
+    which T_i does not hold a lock on an entity [in conflict]" framing of
+    Section 3.1. Exclusive-only systems contribute exactly one cycle
+    (Theorem 1); shared/exclusive systems contribute many, all through the
+    requester (Section 3.2), making the optimum a minimum-cost vertex cut
+    which we solve exactly when small and greedily otherwise.
+
+    The resolver is pure: it never mutates the scheduler's state, which
+    makes policies unit-testable against hand-built cycle sets (the
+    figures). *)
+
+type txn = int
+type entity = Prb_storage.Store.entity
+
+type cycle = (txn * entity) list
+(** Members in cycle order; each paired with the entity whose release
+    deletes that member's inbound arc. The requester appears in every
+    cycle. *)
+
+type decision = {
+  victims : (txn * entity list) list;
+      (** each victim with every entity it must release (the union over
+          all cycles it was chosen to break), sorted by txn id *)
+  optimal : bool;
+      (** true when produced by the exact cut solver; false for greedy
+          fallback and for the non-optimising policies *)
+}
+
+val choose :
+  policy:Policy.t ->
+  requester:txn ->
+  entry_order:(txn -> int) ->
+  release_cost:(txn -> entity list -> int) ->
+  rng:Prb_util.Rng.t ->
+  cycle list ->
+  decision
+(** @raise Invalid_argument on an empty cycle list or a cycle missing the
+    requester. [release_cost v es] is the progress lost if [v] rolls back
+    far enough to release all of [es]. *)

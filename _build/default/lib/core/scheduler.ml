@@ -1,0 +1,543 @@
+module Store = Prb_storage.Store
+module Program = Prb_txn.Program
+module Lock_mode = Prb_txn.Lock_mode
+module Lock_table = Prb_lock.Lock_table
+module Waits_for = Prb_wfg.Waits_for
+module Strategy = Prb_rollback.Strategy
+module Txn_state = Prb_rollback.Txn_state
+module History = Prb_history.History
+module Heap = Prb_util.Heap
+module Rng = Prb_util.Rng
+
+type intervention =
+  | Detect
+  | Timeout_abort of int
+  | Wound_wait_c
+  | Wait_die_c
+
+type config = {
+  strategy : Strategy.t;
+  policy : Policy.t;
+  intervention : intervention;
+  seed : int;
+  max_ticks : int;
+  cycle_limit : int;
+  restart_delay : int;
+  fair_locking : bool;
+}
+
+let default_config =
+  {
+    strategy = Strategy.Sdg;
+    policy = Policy.Ordered_min_cost;
+    intervention = Detect;
+    seed = 1;
+    max_ticks = 1_000_000;
+    cycle_limit = 256;
+    restart_delay = 0;
+    fair_locking = true;
+  }
+
+exception Stuck of string
+
+(* Debug tracing: enable with Logs.Src.set_level (e.g. via the CLI's
+   --verbose) to watch grants, blocks, deadlocks and rollbacks. *)
+let src = Logs.Src.create "prb.scheduler" ~doc:"partial-rollback scheduler"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type t = {
+  cfg : config;
+  store : Store.t;
+  locks : Lock_table.t;
+  wfg : Waits_for.t;
+  txns : (int, Txn_state.t) Hashtbl.t;
+  events : int Heap.t; (* payload: txn id *)
+  hist : History.t;
+  rng : Rng.t;
+  mutable next_id : int;
+  mutable tick : int;
+  mutable commits : int;
+  mutable deadlocks : int;
+  mutable cycles_broken : int;
+  mutable rollback_events : int;
+  mutable requeue_events : int;
+  mutable overshoot_ops : int;
+  mutable optimal_resolutions : int;
+  mutable timeout_events : int;
+  mutable prevention_events : int;
+  blocked_since : (int, int) Hashtbl.t;
+  submit_ticks : (int, int) Hashtbl.t;
+  commit_ticks : (int, int) Hashtbl.t;
+  mutable ops_committed : int;
+  mutable deadlock_hook :
+    (requester:int -> cycles:Resolver.cycle list -> decision:Resolver.decision -> unit)
+    option;
+}
+
+let create ?(config = default_config) store =
+  {
+    cfg = config;
+    store;
+    locks = Lock_table.create ~fair:config.fair_locking ();
+    wfg = Waits_for.create ();
+    txns = Hashtbl.create 64;
+    events = Heap.create ();
+    hist = History.create ();
+    rng = Rng.make config.seed;
+    next_id = 0;
+    tick = 0;
+    commits = 0;
+    deadlocks = 0;
+    cycles_broken = 0;
+    rollback_events = 0;
+    requeue_events = 0;
+    overshoot_ops = 0;
+    optimal_resolutions = 0;
+    timeout_events = 0;
+    prevention_events = 0;
+    blocked_since = Hashtbl.create 16;
+    submit_ticks = Hashtbl.create 64;
+    commit_ticks = Hashtbl.create 64;
+    ops_committed = 0;
+    deadlock_hook = None;
+  }
+
+let config t = t.cfg
+let store t = t.store
+
+let submit_at ?copy_allocation t ~at program =
+  let at = max at t.tick in
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  let ts =
+    Txn_state.create ?copy_allocation ~strategy:t.cfg.strategy ~id
+      ~store:t.store program
+  in
+  Hashtbl.replace t.txns id ts;
+  Hashtbl.replace t.submit_ticks id at;
+  Waits_for.add_txn t.wfg id;
+  Heap.push t.events ~priority:(max (t.tick + 1) at) id;
+  id
+
+let submit ?copy_allocation t program =
+  submit_at ?copy_allocation t ~at:t.tick program
+
+let txn_state t id =
+  match Hashtbl.find_opt t.txns id with
+  | Some ts -> ts
+  | None -> raise Not_found
+
+let all_txns t =
+  Hashtbl.fold (fun id _ acc -> id :: acc) t.txns [] |> List.sort compare
+
+let now t = t.tick
+let n_committed t = t.commits
+let all_committed t = t.commits = Hashtbl.length t.txns
+let waits_for t = t.wfg
+let lock_table t = t.locks
+let history t = t.hist
+
+let schedule t id = Heap.push t.events ~priority:(t.tick + 1) id
+
+(* After the holder set of [e] changed without a grant, blocked waiters'
+   waits-for edges must track the new holders. *)
+let refresh_waiters t e =
+  List.iter
+    (fun (w, _) ->
+      match Lock_table.blockers t.locks w with
+      | [] -> () (* about to be granted by the caller's grant pass *)
+      | holders -> Waits_for.set_wait t.wfg ~waiter:w ~holders e)
+    (Lock_table.waiters t.locks e)
+
+let process_grants t grants =
+  List.iter
+    (fun (w, mode, e) ->
+      Log.debug (fun m ->
+          m "[%d] grant %a(%s) to T%d (from queue)" t.tick Lock_mode.pp mode
+            e w);
+      Waits_for.clear_wait t.wfg w;
+      Hashtbl.remove t.blocked_since w;
+      let ts = txn_state t w in
+      History.note_grant t.hist ~tick:t.tick w e mode;
+      Txn_state.lock_granted ts;
+      schedule t w)
+    grants
+
+(* Release one lock of [id] on [e] and propagate: grants wake waiters,
+   survivors re-point their edges. *)
+let release_lock t id e =
+  let grants = Lock_table.release t.locks id e in
+  process_grants t (List.map (fun (w, m) -> (w, m, e)) grants);
+  refresh_waiters t e
+
+(* --- Deadlock resolution ------------------------------------------- *)
+
+(* Cycles through the requester, converted to the resolver's (member,
+   entity-to-release) form. A waits-for cycle [r; v1; ...; vk] has edges
+   r->v1 (r waits for v1 on e1) ... vk->r; deleting the arc into a member
+   means that member releases the entity labelling the arc. *)
+let resolver_cycles t requester =
+  let raw = Waits_for.cycles_through ~limit:t.cfg.cycle_limit t.wfg requester in
+  let label u v =
+    match List.assoc_opt v (Waits_for.waits t.wfg u) with
+    | Some e -> e
+    | None -> raise (Stuck "waits-for edge vanished during resolution")
+  in
+  List.map
+    (fun cycle ->
+      let rec arcs = function
+        | [] -> []
+        | [ last ] -> [ (requester, label last requester) ]
+        | u :: (v :: _ as rest) -> (v, label u v) :: arcs rest
+      in
+      arcs cycle)
+    raw
+
+(* An arc into a cycle member is labelled with the entity whose
+   availability the predecessor awaits. The member breaks the arc either
+   by rolling back far enough to release the entity (it holds it), or —
+   under fair queueing, where waits-for edges also point at conflicting
+   requests queued ahead — by cancelling its own pending request for that
+   entity and requeueing at the tail. *)
+let split_arcs ts entities =
+  List.partition (fun e -> Txn_state.holds ts e <> None) entities
+
+let release_cost t v entities =
+  let ts = txn_state t v in
+  let held, queued = split_arcs ts entities in
+  let rollback_part =
+    match held with
+    | [] -> 0
+    | es ->
+        let target =
+          List.fold_left
+            (fun acc e -> min acc (Txn_state.rollback_target ts e))
+            max_int es
+        in
+        Txn_state.cost_of_target ts target
+  in
+  (* Requeueing loses no progress but is not free: charge one op so the
+     optimiser does not see it as a universally-winning move. *)
+  rollback_part + if queued = [] then 0 else 1
+
+let cancel_pending_request t v =
+  match Lock_table.cancel_wait t.locks v with
+  | Some (e, grants) ->
+      process_grants t (List.map (fun (w, m) -> (w, m, e)) grants);
+      refresh_waiters t e
+  | None -> ()
+
+let apply_rollback t v entities =
+  let ts = txn_state t v in
+  let held, _queued = split_arcs ts entities in
+  (* A blocked victim abandons its pending request; shrinking its queue
+     may unblock waiters behind it, and survivors re-point their edges.
+     When every arc is a queue arc this cancel-and-retry (the transaction
+     re-issues the request and lands at the queue tail) is the whole
+     remedy. *)
+  cancel_pending_request t v;
+  Waits_for.clear_wait t.wfg v;
+  (match held with
+  | [] -> t.requeue_events <- t.requeue_events + 1
+  | es ->
+      let target =
+        List.fold_left
+          (fun acc e -> min acc (Txn_state.rollback_target ts e))
+          (Txn_state.lock_index ts)
+          es
+      in
+      (* Overshoot: progress destroyed beyond the minimal release point —
+         zero under MCS, the whole prefix under Total, the price of
+         non-well-defined states under SDG. *)
+      let minimal =
+        List.fold_left
+          (fun acc e ->
+            match Txn_state.lock_state_of ts e with
+            | Some k -> min acc k
+            | None -> acc)
+          (Txn_state.lock_index ts) es
+      in
+      t.overshoot_ops <-
+        t.overshoot_ops
+        + Txn_state.cost_of_target ts target
+        - Txn_state.cost_of_target ts minimal;
+      Log.info (fun m ->
+          m "[%d] partial rollback of T%d to %s (releasing %s)" t.tick v
+            (if target = Txn_state.restart_target then "restart"
+             else Printf.sprintf "lock state %d" target)
+            (String.concat "," es));
+      let released = Txn_state.rollback_to ts target in
+      t.rollback_events <- t.rollback_events + 1;
+      List.iter
+        (fun e ->
+          History.discard t.hist v e;
+          release_lock t v e)
+        released);
+  Heap.push t.events ~priority:(t.tick + 1 + t.cfg.restart_delay) v
+
+let blocked_txns t =
+  List.filter (fun id -> Waits_for.is_blocked t.wfg id) (Waits_for.txns t.wfg)
+
+(* Resolve until no blocked transaction lies on a cycle. New requests can
+   only close cycles through the requester, but a resolution round's side
+   effects (requeues, grants, edge re-pointing) can leave or create cycles
+   elsewhere, so the fixpoint scans every blocked transaction. *)
+let resolve_deadlocks t primary =
+  let round = ref 0 in
+  let rec fixpoint () =
+    incr round;
+    if !round > 1000 then
+      raise (Stuck "deadlock resolution did not converge");
+    let candidates = primary :: blocked_txns t in
+    let cycle_site =
+      List.find_map
+        (fun b ->
+          if Waits_for.is_blocked t.wfg b then
+            match resolver_cycles t b with
+            | [] -> None
+            | cycles -> Some (b, cycles)
+          else None)
+        candidates
+    in
+    match cycle_site with
+    | None -> ()
+    | Some (requester, cycles) ->
+        Log.info (fun m ->
+            m "[%d] deadlock: %d cycle(s) through T%d" t.tick
+              (List.length cycles) requester);
+        t.deadlocks <- t.deadlocks + 1;
+        t.cycles_broken <- t.cycles_broken + List.length cycles;
+        let decision =
+          Resolver.choose ~policy:t.cfg.policy ~requester
+            ~entry_order:(fun v -> Txn_state.entry_order (txn_state t v))
+            ~release_cost:(release_cost t) ~rng:t.rng cycles
+        in
+        if decision.Resolver.optimal then
+          t.optimal_resolutions <- t.optimal_resolutions + 1;
+        (match t.deadlock_hook with
+        | Some hook -> hook ~requester ~cycles ~decision
+        | None -> ());
+        List.iter
+          (fun (v, entities) -> apply_rollback t v entities)
+          decision.Resolver.victims;
+        fixpoint ()
+  in
+  fixpoint ()
+
+(* Self-restart for the prevention/timeout baselines: the transaction
+   abandons its pending request and starts over (keeping its id, which is
+   its timestamp). *)
+let self_restart t id =
+  let ts = txn_state t id in
+  cancel_pending_request t id;
+  Waits_for.clear_wait t.wfg id;
+  Hashtbl.remove t.blocked_since id;
+  let released = Txn_state.rollback_to ts Txn_state.restart_target in
+  t.rollback_events <- t.rollback_events + 1;
+  List.iter
+    (fun e ->
+      History.discard t.hist id e;
+      release_lock t id e)
+    released;
+  Heap.push t.events ~priority:(t.tick + 1 + t.cfg.restart_delay) id
+
+(* Wound-wait (centralised): the older requester wounds each younger
+   blocker, which partially rolls back just far enough to release the
+   entity (or requeues, if it was merely queued ahead); shrinking-phase
+   blockers are immune and safe to wait for. *)
+let wound_younger_blockers t requester e blockers =
+  List.iter
+    (fun b ->
+      if
+        b > requester
+        && Txn_state.phase (txn_state t b) = Txn_state.Growing
+      then begin
+        t.prevention_events <- t.prevention_events + 1;
+        Log.info (fun m -> m "[%d] T%d wounds T%d over %s" t.tick requester b e);
+        apply_rollback t b [ e ]
+      end)
+    blockers
+
+(* --- Executing one transaction step -------------------------------- *)
+
+let handle_lock_request t id mode e =
+  let ts = txn_state t id in
+  match Lock_table.request t.locks id mode e with
+  | Lock_table.Granted ->
+      History.note_grant t.hist ~tick:t.tick id e mode;
+      Txn_state.lock_granted ts;
+      (* A direct grant can change the holder set under queued waiters
+         (a shared request joining shared holders past a queued exclusive
+         one): their waits-for edges must follow, or cycles through the
+         new holder are invisible to later deadlock checks. *)
+      refresh_waiters t e;
+      schedule t id
+  | Lock_table.Blocked holders -> (
+      Log.debug (fun m ->
+          m "[%d] T%d blocked on %a(%s) behind %s" t.tick id Lock_mode.pp
+            mode e
+            (String.concat "," (List.map (Printf.sprintf "T%d") holders)));
+      Waits_for.set_wait t.wfg ~waiter:id ~holders e;
+      match t.cfg.intervention with
+      | Detect ->
+          (* Edges installed; a deadlock exists iff some blocker reaches
+             the waiter (Section 3.1's descendant check). *)
+          if Waits_for.would_deadlock t.wfg ~waiter:id ~holders then
+            resolve_deadlocks t id
+      | Timeout_abort n ->
+          Hashtbl.replace t.blocked_since id t.tick;
+          Heap.push t.events ~priority:(t.tick + n) (-id - 1)
+      | Wound_wait_c -> wound_younger_blockers t id e holders
+      | Wait_die_c ->
+          if List.exists (fun b -> b < id) holders then begin
+            (* younger than a blocker: die, keeping the timestamp *)
+            t.prevention_events <- t.prevention_events + 1;
+            Log.info (fun m -> m "[%d] T%d dies over %s" t.tick id e);
+            self_restart t id
+          end)
+
+let handle_unlock t id =
+  let ts = txn_state t id in
+  let e, final = Txn_state.perform_unlock ts in
+  (match final with Some v -> Store.install t.store e v | None -> ());
+  History.note_release t.hist ~tick:t.tick id e;
+  release_lock t id e;
+  schedule t id
+
+let handle_commit t id =
+  let ts = txn_state t id in
+  let finals = Txn_state.commit ts in
+  List.iter (fun (e, v) -> Store.install t.store e v) finals;
+  let held = Lock_table.held_by t.locks id in
+  List.iter
+    (fun (e, _) -> History.note_release t.hist ~tick:t.tick id e)
+    held;
+  let grants = Lock_table.release_all t.locks id in
+  process_grants t grants;
+  (* Every entity whose holder set changed needs its waiters re-pointed. *)
+  List.iter (fun (e, _) -> refresh_waiters t e) held;
+  Waits_for.remove_txn t.wfg id;
+  History.commit_txn t.hist id;
+  Log.debug (fun m -> m "[%d] T%d committed" t.tick id);
+  Hashtbl.replace t.commit_ticks id t.tick;
+  t.commits <- t.commits + 1;
+  t.ops_committed <- t.ops_committed + Program.length (Txn_state.program ts)
+
+let exec_one t id =
+  let ts = txn_state t id in
+  match Txn_state.phase ts with
+  | Txn_state.Committed -> ()
+  | Txn_state.Growing | Txn_state.Shrinking -> (
+      if Waits_for.is_blocked t.wfg id then
+        (* Stale wakeup for a transaction that re-blocked; it will be
+           rescheduled on grant. *)
+        ()
+      else
+        match Txn_state.next_action ts with
+        | Txn_state.Need_lock (mode, e) -> handle_lock_request t id mode e
+        | Txn_state.Need_unlock _ -> handle_unlock t id
+        | Txn_state.Data_step ->
+            Txn_state.exec_data_op ts;
+            schedule t id
+        | Txn_state.At_end -> handle_commit t id)
+
+let step t =
+  if all_committed t then false
+  else
+    match Heap.pop t.events with
+    | None ->
+        (* Live transactions with an empty event queue means a wakeup was
+           lost — always a bug, never a valid quiescent state (an acyclic
+           waits-for graph has a runnable transaction, and runnable
+           transactions hold events). *)
+        raise (Stuck "event queue drained with live transactions")
+    | Some (tick, payload) ->
+        if tick > t.cfg.max_ticks then false
+        else begin
+          t.tick <- max t.tick tick;
+          (if payload < 0 then begin
+             (* a Timeout_abort timer: restart the waiter if it is still
+                stuck on the same wait *)
+             let id = -payload - 1 in
+             let n =
+               match t.cfg.intervention with
+               | Timeout_abort n -> n
+               | Detect | Wound_wait_c | Wait_die_c -> max_int
+             in
+             match Hashtbl.find_opt t.blocked_since id with
+             | Some since when Waits_for.is_blocked t.wfg id ->
+                 if since + n <= t.tick then begin
+                   t.timeout_events <- t.timeout_events + 1;
+                   Log.info (fun m -> m "[%d] T%d timed out; restarting" t.tick id);
+                   self_restart t id
+                 end
+                 else Heap.push t.events ~priority:(since + n) payload
+             | Some _ | None -> ()
+           end
+           else exec_one t payload);
+          true
+        end
+
+let run t =
+  while step t do
+    ()
+  done
+
+type stats = {
+  ticks : int;
+  commits : int;
+  deadlocks : int;
+  cycles_broken : int;
+  rollbacks : int;
+  requeues : int;
+  ops_lost : int;
+  overshoot_ops : int;
+  ops_committed : int;
+  ops_executed : int;
+  blocks : int;
+  peak_copies : int;
+  optimal_resolutions : int;
+  timeouts : int;
+  preventions : int;
+}
+
+let set_deadlock_hook t hook = t.deadlock_hook <- Some hook
+
+let submit_tick t id = Hashtbl.find_opt t.submit_ticks id
+let commit_tick t id = Hashtbl.find_opt t.commit_ticks id
+
+let latency t id =
+  match (submit_tick t id, commit_tick t id) with
+  | Some s, Some c -> Some (c - s)
+  | _ -> None
+
+let stats t =
+  let fold f init = Hashtbl.fold (fun _ ts acc -> f acc ts) t.txns init in
+  {
+    ticks = t.tick;
+    commits = t.commits;
+    deadlocks = t.deadlocks;
+    cycles_broken = t.cycles_broken;
+    rollbacks = t.rollback_events;
+    requeues = t.requeue_events;
+    overshoot_ops = t.overshoot_ops;
+    ops_lost = fold (fun acc ts -> acc + Txn_state.ops_lost ts) 0;
+    ops_committed = t.ops_committed;
+    ops_executed = fold (fun acc ts -> acc + Txn_state.total_executed ts) 0;
+    blocks = Lock_table.n_blocks t.locks;
+    peak_copies = fold (fun acc ts -> max acc (Txn_state.peak_copies ts)) 0;
+    optimal_resolutions = t.optimal_resolutions;
+    timeouts = t.timeout_events;
+    preventions = t.prevention_events;
+  }
+
+let pp_stats ppf s =
+  Fmt.pf ppf
+    "@[<v>ticks: %d@,commits: %d@,deadlocks: %d (cycles broken: %d)@,\
+     rollbacks: %d (+%d requeues)@,ops lost: %d (overshoot %d)@,\
+     ops committed: %d@,ops executed: %d@,blocks: %d@,peak copies: %d@,\
+     optimal resolutions: %d@,timeouts: %d, preventions: %d@]"
+    s.ticks s.commits s.deadlocks s.cycles_broken s.rollbacks s.requeues
+    s.ops_lost s.overshoot_ops s.ops_committed s.ops_executed s.blocks
+    s.peak_copies s.optimal_resolutions s.timeouts s.preventions

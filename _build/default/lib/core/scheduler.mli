@@ -1,0 +1,157 @@
+(** The database concurrency control: a deterministic discrete-event
+    scheduler executing transaction programs under two-phase locking with
+    deadlock detection and partial-rollback removal.
+
+    Each runnable transaction executes one operation per tick, round-robin
+    through an event queue with deterministic tie-breaking; blocked
+    transactions consume no ticks and wake when granted. A lock request
+    that would close a cycle in the waits-for graph triggers resolution:
+    cycles through the requester are enumerated, the {!Policy} picks
+    victims via {!Resolver}, and each victim rolls back per its
+    {!Prb_rollback.Strategy} — far enough to release the contested
+    entities, and no further than that strategy can restore.
+
+    Given the same store, programs, configuration and seed, every run is
+    bit-for-bit identical. *)
+
+type t
+
+(** How the system deals with deadlocks — the paper's
+    detect-and-partially-roll-back, or the classic alternatives it is
+    positioned against. *)
+type intervention =
+  | Detect
+      (** detect at request time, choose victims by {!Policy}, remove by
+          partial rollback — the paper's scheme *)
+  | Timeout_abort of int
+      (** no detection at all: a transaction blocked for the given number
+          of ticks restarts itself — the crude baseline of early systems;
+          deadlocks persist until a timer fires and the victim loses
+          everything *)
+  | Wound_wait_c
+      (** timestamp prevention: an older requester wounds younger
+          blockers, which partially roll back just far enough to release
+          the entity; a younger requester waits. No cycle can form. *)
+  | Wait_die_c
+      (** timestamp prevention: an older requester waits; a younger one
+          "dies" (restarts, keeping its timestamp). No cycle can form. *)
+
+type config = {
+  strategy : Prb_rollback.Strategy.t;
+  policy : Policy.t;
+  intervention : intervention;
+  seed : int;  (** drives only the [Random_victim] policy *)
+  max_ticks : int;  (** hard stop against livelock (paper Figure 2) *)
+  cycle_limit : int;  (** bound on cycle enumeration per deadlock *)
+  restart_delay : int;
+      (** extra ticks before a rollback victim resumes; 0 reproduces the
+          paper's model faithfully, small values break the lock-step
+          re-collision pattern deterministic execution invites *)
+  fair_locking : bool;
+      (** [true] (default): queue-respecting grants — required for
+          liveness with shared locks (see {!Prb_lock.Lock_table});
+          [false]: the paper's availability rule, identical on
+          exclusive-only workloads *)
+}
+
+val default_config : config
+(** [Sdg] strategy, [Detect] intervention, [Ordered_min_cost] policy,
+    seed 1, 1_000_000 ticks, 256 cycles, restart delay 0, fair
+    locking. *)
+
+val create : ?config:config -> Prb_storage.Store.t -> t
+
+val config : t -> config
+val store : t -> Prb_storage.Store.t
+
+val submit :
+  ?copy_allocation:(string -> int) -> t -> Prb_txn.Program.t -> int
+
+(** Admit a transaction; returns its id. Ids increase with admission
+    order, which is the entry order used by [Ordered_min_cost] and
+    [Youngest]. [copy_allocation] grants per-object extra retained
+    versions (see {!Prb_rollback.Txn_state.create} and
+    {!Prb_rollback.Allocation}). @raise Invalid_argument on an invalid
+    program. *)
+
+val submit_at :
+  ?copy_allocation:(string -> int) -> t -> at:int -> Prb_txn.Program.t -> int
+(** Admit a transaction that arrives at a future tick (clamped to now):
+    its first event fires then and its {!latency} clock starts then. Used
+    by open-system (arrival process) simulations. Calls must be made in
+    nondecreasing arrival order for ids to remain the entry order. *)
+
+val step : t -> bool
+(** Process one event; [false] when no work remains (all submitted
+    transactions committed) or [max_ticks] was reached. *)
+
+val run : t -> unit
+(** Step until done. *)
+
+val now : t -> int
+
+val txn_state : t -> int -> Prb_rollback.Txn_state.t
+(** @raise Not_found for unknown ids. *)
+
+val all_txns : t -> int list
+(** Submitted ids, ascending. *)
+
+val n_committed : t -> int
+val all_committed : t -> bool
+
+val waits_for : t -> Prb_wfg.Waits_for.t
+(** Live view — do not mutate. *)
+
+val lock_table : t -> Prb_lock.Lock_table.t
+(** Live view — do not mutate. *)
+
+val history : t -> Prb_history.History.t
+
+(** Aggregate statistics over a (partial or finished) run. *)
+type stats = {
+  ticks : int;
+  commits : int;
+  deadlocks : int;  (** resolution rounds (>= 1 cycle each) *)
+  cycles_broken : int;
+  rollbacks : int;  (** victim rollbacks performed *)
+  requeues : int;
+      (** fair-queueing victims whose arc was broken by cancelling a
+          pending request (no progress lost) *)
+  ops_lost : int;  (** Σ progress destroyed by rollbacks *)
+  overshoot_ops : int;
+      (** the part of [ops_lost] beyond the minimal release point — 0
+          under [Mcs], the whole prefix under [Total], the cost of
+          non-well-defined states under [Sdg] *)
+  ops_committed : int;  (** Σ program lengths of committed txns *)
+  ops_executed : int;  (** Σ operations executed, re-execution included *)
+  blocks : int;
+  peak_copies : int;  (** max over transactions of peak local copies *)
+  optimal_resolutions : int;  (** decisions from the exact cut solver *)
+  timeouts : int;  (** [Timeout_abort] self-restarts *)
+  preventions : int;  (** wounds ([Wound_wait_c]) or deaths ([Wait_die_c]) *)
+}
+
+val stats : t -> stats
+
+val submit_tick : t -> int -> int option
+(** Tick at which the transaction was admitted. *)
+
+val commit_tick : t -> int -> int option
+(** Tick at which it committed, once it has. *)
+
+val latency : t -> int -> int option
+(** [commit_tick - submit_tick]: the response time the paper's
+    introduction worries about. *)
+
+val set_deadlock_hook :
+  t ->
+  (requester:int -> cycles:Resolver.cycle list -> decision:Resolver.decision -> unit) ->
+  unit
+(** Observe every resolution round (tracing, preemption-chain metrics —
+    e.g. Figure 2's mutual-preemption experiment). *)
+
+val pp_stats : Format.formatter -> stats -> unit
+
+exception Stuck of string
+(** Raised when deadlock resolution fails to make progress (a bug guard,
+    not an expected outcome). *)

@@ -1,0 +1,1 @@
+lib/distrib/dist_scheduler.ml: Fmt Hashtbl List Prb_core Prb_history Prb_lock Prb_rollback Prb_storage Prb_txn Prb_util Prb_wfg

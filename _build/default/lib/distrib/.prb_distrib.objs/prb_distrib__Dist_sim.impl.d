@@ -1,0 +1,1 @@
+lib/distrib/dist_sim.ml: Dist_scheduler Fmt List Prb_history

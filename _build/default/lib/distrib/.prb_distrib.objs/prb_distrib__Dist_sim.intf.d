@@ -1,0 +1,1 @@
+lib/distrib/dist_sim.mli: Dist_scheduler Format Prb_storage Prb_txn

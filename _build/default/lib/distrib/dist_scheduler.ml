@@ -1,0 +1,474 @@
+module Store = Prb_storage.Store
+module Program = Prb_txn.Program
+module Lock_mode = Prb_txn.Lock_mode
+module Lock_table = Prb_lock.Lock_table
+module Waits_for = Prb_wfg.Waits_for
+module Strategy = Prb_rollback.Strategy
+module Txn_state = Prb_rollback.Txn_state
+module History = Prb_history.History
+module Heap = Prb_util.Heap
+module Rng = Prb_util.Rng
+module Policy = Prb_core.Policy
+module Resolver = Prb_core.Resolver
+
+type detection = Local_then_global of int | Wound_wait
+
+type config = {
+  n_sites : int;
+  detection : detection;
+  strategy : Strategy.t;
+  policy : Policy.t;
+  seed : int;
+  max_ticks : int;
+  cycle_limit : int;
+  restart_delay : int;
+}
+
+(* The default victim policy differs from the centralised engine's:
+   under periodic global detection the resolver works from a stale
+   snapshot with no meaningful "requester", and cost-optimising policies
+   (min-cost, ordered-min-cost) then re-victimise the same cheap
+   transaction round after round — the Figure 2 pathology resurrected by
+   staleness (measured in experiment E10b). The age-based rule converges,
+   which is exactly why the distributed literature the paper cites [1,7,
+   10] uses timestamps for victim selection. *)
+let default_config =
+  {
+    n_sites = 4;
+    detection = Local_then_global 50;
+    strategy = Strategy.Sdg;
+    policy = Policy.Youngest;
+    seed = 1;
+    max_ticks = 1_000_000;
+    cycle_limit = 256;
+    restart_delay = 0;
+  }
+
+exception Stuck of string
+
+(* Event payloads: a transaction id, or the periodic global detector. *)
+let detector_event = -1
+
+type meta = { home : int; mutable last_site : int }
+
+type t = {
+  cfg : config;
+  store : Store.t;
+  site_fn : Store.entity -> int;
+  locks : Lock_table.t;
+  wfg : Waits_for.t;
+  txns : (int, Txn_state.t) Hashtbl.t;
+  metas : (int, meta) Hashtbl.t;
+  events : int Heap.t;
+  hist : History.t;
+  rng : Rng.t;
+  mutable next_id : int;
+  mutable tick : int;
+  mutable commits : int;
+  mutable deadlocks : int;
+  mutable local_deadlocks : int;
+  mutable global_deadlocks : int;
+  mutable wounds : int;
+  mutable rollback_events : int;
+  mutable messages : int;
+  mutable shipped_copies : int;
+  mutable detection_rounds : int;
+}
+
+let default_site_of n_sites e =
+  (Prb_storage.Value.as_int (Prb_storage.Value.text e)) mod n_sites
+
+let create ?site_of config store =
+  if config.n_sites < 1 then invalid_arg "Dist_scheduler: n_sites < 1";
+  let site_fn =
+    match site_of with
+    | Some f -> f
+    | None -> default_site_of config.n_sites
+  in
+  let t =
+    {
+      cfg = config;
+      store;
+      site_fn;
+      locks = Lock_table.create ~fair:true ();
+      wfg = Waits_for.create ();
+      txns = Hashtbl.create 64;
+      metas = Hashtbl.create 64;
+      events = Heap.create ();
+      hist = History.create ();
+      rng = Rng.make config.seed;
+      next_id = 0;
+      tick = 0;
+      commits = 0;
+      deadlocks = 0;
+      local_deadlocks = 0;
+      global_deadlocks = 0;
+      wounds = 0;
+      rollback_events = 0;
+      messages = 0;
+      shipped_copies = 0;
+      detection_rounds = 0;
+    }
+  in
+  (match config.detection with
+  | Local_then_global period ->
+      if period < 1 then invalid_arg "Dist_scheduler: period < 1";
+      Heap.push t.events ~priority:period detector_event
+  | Wound_wait -> ());
+  t
+
+let site_of t e = t.site_fn e
+let waits_for t = t.wfg
+let lock_table t = t.locks
+let now t = t.tick
+let n_committed t = t.commits
+let all_committed t = t.commits = Hashtbl.length t.txns
+let history t = t.hist
+
+let txn_state t id =
+  match Hashtbl.find_opt t.txns id with
+  | Some ts -> ts
+  | None -> raise Not_found
+
+let meta t id = Hashtbl.find t.metas id
+
+let submit t ~home program =
+  if home < 0 || home >= t.cfg.n_sites then
+    invalid_arg "Dist_scheduler.submit: bad home site";
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  let ts =
+    Txn_state.create ~strategy:t.cfg.strategy ~id ~store:t.store program
+  in
+  Hashtbl.replace t.txns id ts;
+  Hashtbl.replace t.metas id { home; last_site = home };
+  Waits_for.add_txn t.wfg id;
+  Heap.push t.events ~priority:(t.tick + 1) id;
+  id
+
+let schedule t id = Heap.push t.events ~priority:(t.tick + 1) id
+
+let refresh_waiters t e =
+  List.iter
+    (fun (w, _) ->
+      match Lock_table.blockers t.locks w with
+      | [] -> ()
+      | holders -> Waits_for.set_wait t.wfg ~waiter:w ~holders e)
+    (Lock_table.waiters t.locks e)
+
+let process_grants t grants =
+  List.iter
+    (fun (w, mode, e) ->
+      Waits_for.clear_wait t.wfg w;
+      History.note_grant t.hist ~tick:t.tick w e mode;
+      Txn_state.lock_granted (txn_state t w);
+      (* The lock stream of [w] has now touched [e]'s site: partial
+         strategies ship their bookkeeping along (Section 3.3). *)
+      let m = meta t w in
+      let s = site_of t e in
+      if s <> m.last_site then begin
+        if not (Strategy.equal t.cfg.strategy Strategy.Total) then begin
+          t.messages <- t.messages + 1;
+          t.shipped_copies <-
+            t.shipped_copies + Txn_state.current_copies (txn_state t w)
+        end;
+        m.last_site <- s
+      end;
+      schedule t w)
+    grants
+
+let release_lock t id e =
+  if site_of t e <> (meta t id).home then t.messages <- t.messages + 1;
+  let grants = Lock_table.release t.locks id e in
+  process_grants t (List.map (fun (w, m) -> (w, m, e)) grants);
+  refresh_waiters t e
+
+(* --- Rollback application (shared with both detection modes) --------- *)
+
+let split_arcs ts entities =
+  List.partition (fun e -> Txn_state.holds ts e <> None) entities
+
+let release_cost t v entities =
+  let ts = txn_state t v in
+  let held, queued = split_arcs ts entities in
+  let rollback_part =
+    match held with
+    | [] -> 0
+    | es ->
+        let target =
+          List.fold_left
+            (fun acc e -> min acc (Txn_state.rollback_target ts e))
+            max_int es
+        in
+        Txn_state.cost_of_target ts target
+  in
+  rollback_part + if queued = [] then 0 else 1
+
+let cancel_pending_request t v =
+  match Lock_table.cancel_wait t.locks v with
+  | Some (e, grants) ->
+      process_grants t (List.map (fun (w, m) -> (w, m, e)) grants);
+      refresh_waiters t e
+  | None -> ()
+
+let apply_rollback t v entities =
+  let ts = txn_state t v in
+  let held, _queued = split_arcs ts entities in
+  cancel_pending_request t v;
+  Waits_for.clear_wait t.wfg v;
+  (match held with
+  | [] -> ()
+  | es ->
+      let target =
+        List.fold_left
+          (fun acc e -> min acc (Txn_state.rollback_target ts e))
+          (Txn_state.lock_index ts)
+          es
+      in
+      let released = Txn_state.rollback_to ts target in
+      t.rollback_events <- t.rollback_events + 1;
+      (* One coordination message per remote site whose entities the
+         rollback released. *)
+      let home = (meta t v).home in
+      let sites =
+        List.sort_uniq compare (List.map (site_of t) released)
+        |> List.filter (fun s -> s <> home)
+      in
+      t.messages <- t.messages + List.length sites;
+      List.iter
+        (fun e ->
+          History.discard t.hist v e;
+          release_lock t v e)
+        released);
+  Heap.push t.events ~priority:(t.tick + 1 + t.cfg.restart_delay) v
+
+(* --- Cycle detection ------------------------------------------------- *)
+
+let resolver_cycles t requester =
+  let raw = Waits_for.cycles_through ~limit:t.cfg.cycle_limit t.wfg requester in
+  let label u v =
+    match List.assoc_opt v (Waits_for.waits t.wfg u) with
+    | Some e -> e
+    | None -> raise (Stuck "waits-for edge vanished during resolution")
+  in
+  List.map
+    (fun cycle ->
+      let rec arcs = function
+        | [] -> []
+        | [ last ] -> [ (requester, label last requester) ]
+        | u :: (v :: _ as rest) -> (v, label u v) :: arcs rest
+      in
+      arcs cycle)
+    raw
+
+let is_local_cycle t cycle =
+  match cycle with
+  | [] -> true
+  | (_, e0) :: rest ->
+      let s = site_of t e0 in
+      List.for_all (fun (_, e) -> site_of t e = s) rest
+
+let resolve_cycles t requester cycles =
+  t.deadlocks <- t.deadlocks + 1;
+  let decision =
+    Resolver.choose ~policy:t.cfg.policy ~requester
+      ~entry_order:(fun v -> Txn_state.entry_order (txn_state t v))
+      ~release_cost:(release_cost t) ~rng:t.rng cycles
+  in
+  List.iter (fun (v, entities) -> apply_rollback t v entities) decision.Resolver.victims
+
+(* Local detection at block time: a site resolves instantly any cycle
+   whose contested entities all live on it. *)
+let rec resolve_local t requester round =
+  if round > 1000 then raise (Stuck "local resolution did not converge");
+  if Waits_for.is_blocked t.wfg requester then begin
+    let local =
+      List.filter (is_local_cycle t) (resolver_cycles t requester)
+    in
+    if local <> [] then begin
+      t.local_deadlocks <- t.local_deadlocks + 1;
+      resolve_cycles t requester local;
+      resolve_local t requester (round + 1)
+    end
+  end
+
+let blocked_txns t =
+  List.filter (fun id -> Waits_for.is_blocked t.wfg id) (Waits_for.txns t.wfg)
+
+(* Global detector: every site ships its waits-for edges to a coordinator
+   which resolves everything it sees, local or not. *)
+let run_global_detection t =
+  t.detection_rounds <- t.detection_rounds + 1;
+  t.messages <- t.messages + t.cfg.n_sites;
+  let round = ref 0 in
+  let rec fixpoint () =
+    incr round;
+    if !round > 1000 then raise (Stuck "global detection did not converge");
+    let site =
+      List.find_map
+        (fun b ->
+          match resolver_cycles t b with
+          | [] -> None
+          | cycles -> Some (b, cycles))
+        (blocked_txns t)
+    in
+    match site with
+    | None -> ()
+    | Some (requester, cycles) ->
+        t.global_deadlocks <- t.global_deadlocks + 1;
+        resolve_cycles t requester cycles;
+        fixpoint ()
+  in
+  fixpoint ()
+
+(* Wound-wait: an older requester wounds every younger blocker — holders
+   roll back to release the entity, younger queued requests requeue
+   behind. Shrinking transactions are immune (Section 2's no-rollback-
+   after-unlock rule) and exempt: they issue no more lock requests, so
+   they can never sit on a cycle, and they will release on their own.
+   Afterwards every wait edge points to an older or shrinking
+   transaction, and no cycle can ever close. *)
+let wound_wait t requester e blockers =
+  List.iter
+    (fun b ->
+      if
+        b > requester
+        && Txn_state.phase (txn_state t b) = Txn_state.Growing
+      then begin
+        t.wounds <- t.wounds + 1;
+        if site_of t e <> (meta t b).home then t.messages <- t.messages + 1;
+        apply_rollback t b [ e ]
+      end)
+    blockers
+
+(* --- Transaction stepping -------------------------------------------- *)
+
+let handle_lock_request t id mode e =
+  let ts = txn_state t id in
+  let m = meta t id in
+  if site_of t e <> m.home then t.messages <- t.messages + 2;
+  match Lock_table.request t.locks id mode e with
+  | Lock_table.Granted ->
+      History.note_grant t.hist ~tick:t.tick id e mode;
+      Txn_state.lock_granted ts;
+      let s = site_of t e in
+      if s <> m.last_site then begin
+        if not (Strategy.equal t.cfg.strategy Strategy.Total) then begin
+          t.messages <- t.messages + 1;
+          t.shipped_copies <- t.shipped_copies + Txn_state.current_copies ts
+        end;
+        m.last_site <- s
+      end;
+      refresh_waiters t e;
+      schedule t id
+  | Lock_table.Blocked holders -> (
+      Waits_for.set_wait t.wfg ~waiter:id ~holders e;
+      match t.cfg.detection with
+      | Wound_wait -> wound_wait t id e holders
+      | Local_then_global _ ->
+          if Waits_for.would_deadlock t.wfg ~waiter:id ~holders then
+            resolve_local t id 0)
+
+let handle_unlock t id =
+  let ts = txn_state t id in
+  let e, final = Txn_state.perform_unlock ts in
+  (match final with Some v -> Store.install t.store e v | None -> ());
+  History.note_release t.hist ~tick:t.tick id e;
+  release_lock t id e;
+  schedule t id
+
+let handle_commit t id =
+  let ts = txn_state t id in
+  let finals = Txn_state.commit ts in
+  List.iter (fun (e, v) -> Store.install t.store e v) finals;
+  let held = Lock_table.held_by t.locks id in
+  List.iter (fun (e, _) -> History.note_release t.hist ~tick:t.tick id e) held;
+  let grants = Lock_table.release_all t.locks id in
+  let home = (meta t id).home in
+  List.iter
+    (fun (e, _) -> if site_of t e <> home then t.messages <- t.messages + 1)
+    held;
+  process_grants t grants;
+  List.iter (fun (e, _) -> refresh_waiters t e) held;
+  Waits_for.remove_txn t.wfg id;
+  History.commit_txn t.hist id;
+  t.commits <- t.commits + 1
+
+let exec_one t id =
+  let ts = txn_state t id in
+  match Txn_state.phase ts with
+  | Txn_state.Committed -> ()
+  | Txn_state.Growing | Txn_state.Shrinking -> (
+      if Waits_for.is_blocked t.wfg id then ()
+      else
+        match Txn_state.next_action ts with
+        | Txn_state.Need_lock (mode, e) -> handle_lock_request t id mode e
+        | Txn_state.Need_unlock _ -> handle_unlock t id
+        | Txn_state.Data_step ->
+            Txn_state.exec_data_op ts;
+            schedule t id
+        | Txn_state.At_end -> handle_commit t id)
+
+let step t =
+  if all_committed t then false
+  else
+    match Heap.pop t.events with
+    | None -> raise (Stuck "event queue drained with live transactions")
+    | Some (tick, payload) ->
+        if tick > t.cfg.max_ticks then false
+        else begin
+          t.tick <- max t.tick tick;
+          if payload = detector_event then begin
+            run_global_detection t;
+            match t.cfg.detection with
+            | Local_then_global period ->
+                Heap.push t.events ~priority:(t.tick + period) detector_event
+            | Wound_wait -> ()
+          end
+          else exec_one t payload;
+          true
+        end
+
+let run t =
+  while step t do
+    ()
+  done
+
+type stats = {
+  ticks : int;
+  commits : int;
+  deadlocks : int;
+  local_deadlocks : int;
+  global_deadlocks : int;
+  wounds : int;
+  rollbacks : int;
+  ops_lost : int;
+  messages : int;
+  shipped_copies : int;
+  detection_rounds : int;
+}
+
+let stats t =
+  let fold f init = Hashtbl.fold (fun _ ts acc -> f acc ts) t.txns init in
+  {
+    ticks = t.tick;
+    commits = t.commits;
+    deadlocks = t.deadlocks;
+    local_deadlocks = t.local_deadlocks;
+    global_deadlocks = t.global_deadlocks;
+    wounds = t.wounds;
+    rollbacks = t.rollback_events;
+    ops_lost = fold (fun acc ts -> acc + Txn_state.ops_lost ts) 0;
+    messages = t.messages;
+    shipped_copies = t.shipped_copies;
+    detection_rounds = t.detection_rounds;
+  }
+
+let pp_stats ppf s =
+  Fmt.pf ppf
+    "@[<v>ticks: %d@,commits: %d@,deadlocks: %d (local %d, global %d)@,\
+     wounds: %d@,rollbacks: %d@,ops lost: %d@,messages: %d@,\
+     shipped copies: %d@,detection rounds: %d@]"
+    s.ticks s.commits s.deadlocks s.local_deadlocks s.global_deadlocks
+    s.wounds s.rollbacks s.ops_lost s.messages s.shipped_copies
+    s.detection_rounds

@@ -1,0 +1,103 @@
+(** Distributed execution substrate for Section 3.3.
+
+    Entities are partitioned across sites; transactions run from a home
+    site and acquire locks remotely, paying messages. The lock tables
+    behave exactly as in the centralised engine (locking is per entity, so
+    correctness is unchanged); what the distribution changes is {e what
+    the deadlock detector can see and when}, and {e what a rollback
+    costs in communication}:
+
+    - {b Local_then_global}: a site detects immediately any cycle all of
+      whose contested entities live on that site; cross-site cycles are
+      only found by a periodic global detector to which every site ships
+      its waits-for edges (paper: "the occurrence of deadlocks involving a
+      number of sites cannot be detected by [a single] site").
+    - {b Wound_wait}: the timestamp-based prevention the paper cites as an
+      alternative — an older requester wounds a younger holder, which
+      {e partially rolls back} just far enough to release the entity
+      (the paper's point that such mechanisms "in no way invalidate the
+      advantages of rolling a transaction back to the latest possible
+      state"); a younger requester simply waits. No cycles can form.
+
+    Message accounting (flat cost model, documented in DESIGN.md):
+    remote lock request/grant = 2, remote release = 1, wound = 1 per
+    remote holder site, global detection round = one WFG shipment per
+    site, and — partial-rollback strategies only — every time a
+    transaction's lock stream moves between sites its version bookkeeping
+    follows it (messages +1, [shipped_copies] += its current copy count),
+    the overhead Section 3.3 warns about. *)
+
+type detection =
+  | Local_then_global of int
+      (** period (ticks) between global detection rounds *)
+  | Wound_wait
+
+type config = {
+  n_sites : int;
+  detection : detection;
+  strategy : Prb_rollback.Strategy.t;
+  policy : Prb_core.Policy.t;
+  seed : int;
+  max_ticks : int;
+  cycle_limit : int;
+  restart_delay : int;
+}
+
+val default_config : config
+(** 4 sites, [Local_then_global 50], [Sdg], and — unlike the centralised
+    engine — the [Youngest] victim policy: periodic global detection
+    works from stale snapshots without a meaningful requester, and the
+    cost-optimising policies then re-victimise the same cheap transaction
+    every round (Figure 2's pathology resurrected by staleness; measured
+    in E10b). Age-based selection converges, which is why the distributed
+    literature the paper cites uses timestamps. *)
+
+type t
+
+val create :
+  ?site_of:(Prb_storage.Store.entity -> int) ->
+  config ->
+  Prb_storage.Store.t ->
+  t
+(** [site_of] defaults to a deterministic hash of the entity name modulo
+    [n_sites]. *)
+
+val submit : t -> home:int -> Prb_txn.Program.t -> int
+(** Timestamps for wound-wait are admission order (smaller id = older). *)
+
+val step : t -> bool
+val run : t -> unit
+
+val now : t -> int
+val n_committed : t -> int
+val all_committed : t -> bool
+val txn_state : t -> int -> Prb_rollback.Txn_state.t
+val history : t -> Prb_history.History.t
+val site_of : t -> Prb_storage.Store.entity -> int
+
+val waits_for : t -> Prb_wfg.Waits_for.t
+(** Live view — do not mutate. *)
+
+val lock_table : t -> Prb_lock.Lock_table.t
+(** Live view — do not mutate. *)
+
+type stats = {
+  ticks : int;
+  commits : int;
+  deadlocks : int;
+  local_deadlocks : int;  (** resolved instantly by one site *)
+  global_deadlocks : int;  (** found only by the periodic detector *)
+  wounds : int;
+  rollbacks : int;
+  ops_lost : int;
+  messages : int;
+  shipped_copies : int;
+      (** version-bookkeeping volume that chased moving transactions —
+          zero under [Total] *)
+  detection_rounds : int;
+}
+
+val stats : t -> stats
+val pp_stats : Format.formatter -> stats -> unit
+
+exception Stuck of string

@@ -1,0 +1,29 @@
+(** Closed-system driver for the multi-site engine, mirroring
+    {!Prb_sim.Sim}: a fixed multiprogramming level per run, admissions
+    round-robin across home sites, derived metrics. *)
+
+type config = {
+  scheduler : Dist_scheduler.config;
+  mpl : int;  (** concurrent transactions held in the system *)
+}
+
+val default_config : config
+
+type result = {
+  stats : Dist_scheduler.stats;
+  n_txns : int;
+  throughput : float;  (** commits per 1000 ticks *)
+  messages_per_commit : float;
+  shipped_per_commit : float;
+  mean_rollback_cost : float;
+  serializable : bool;
+}
+
+val run :
+  ?config:config ->
+  store:Prb_storage.Store.t ->
+  Prb_txn.Program.t list ->
+  result
+(** Home sites are assigned round-robin in submission order. *)
+
+val pp_result : Format.formatter -> result -> unit

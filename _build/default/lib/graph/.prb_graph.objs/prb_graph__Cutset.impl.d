@@ -1,0 +1,1 @@
+lib/graph/cutset.ml: Float Int List Set

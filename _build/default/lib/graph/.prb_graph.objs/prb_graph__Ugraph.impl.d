@@ -1,0 +1,1 @@
+lib/graph/ugraph.ml: Hashtbl Int List Set

@@ -1,0 +1,78 @@
+module Iset = Set.Make (Int)
+
+type instance = { cycles : int list list; cost : int -> float }
+
+let total_cost t set = List.fold_left (fun acc v -> acc +. t.cost v) 0.0 set
+
+let is_cut t set =
+  let s = Iset.of_list set in
+  List.for_all (fun cycle -> List.exists (fun v -> Iset.mem v s) cycle) t.cycles
+
+let candidate_vertices t =
+  List.fold_left (fun acc c -> List.fold_left (fun a v -> Iset.add v a) acc c)
+    Iset.empty t.cycles
+  |> Iset.elements
+
+(* Cycles not yet hit by [chosen]. *)
+let surviving t chosen =
+  List.filter (fun c -> not (List.exists (fun v -> Iset.mem v chosen) c)) t.cycles
+
+let greedy t =
+  let rec loop chosen =
+    match surviving t chosen with
+    | [] -> Iset.elements chosen
+    | alive ->
+        let verts = candidate_vertices { t with cycles = alive } in
+        let score v =
+          let hits =
+            List.length (List.filter (List.exists (fun w -> w = v)) alive)
+          in
+          let c = t.cost v in
+          (* Best hits-per-cost; guard against zero-cost vertices. *)
+          float_of_int hits /. Float.max c 1e-9
+        in
+        let best =
+          List.fold_left
+            (fun acc v ->
+              match acc with
+              | None -> Some (v, score v)
+              | Some (_, s) as keep ->
+                  let sv = score v in
+                  if sv > s +. 1e-12 then Some (v, sv) else keep)
+            None verts
+        in
+        (match best with
+        | None -> Iset.elements chosen (* unreachable: alive cycles non-empty *)
+        | Some (v, _) -> loop (Iset.add v chosen))
+  in
+  loop Iset.empty
+
+exception Budget_exhausted
+
+let exact ?(node_budget = 1_000_000) t =
+  (* Branch and bound on the first surviving cycle: one branch per vertex of
+     that cycle. Upper bound initialised by the greedy solution. *)
+  let best_set = ref (greedy t) in
+  let best_cost = ref (total_cost t !best_set) in
+  let nodes = ref 0 in
+  let rec search chosen chosen_cost =
+    incr nodes;
+    if !nodes > node_budget then raise Budget_exhausted;
+    if chosen_cost < !best_cost -. 1e-12 then
+      match surviving t chosen with
+      | [] ->
+          best_set := Iset.elements chosen;
+          best_cost := chosen_cost
+      | cycle :: _ ->
+          (* Branch on each vertex of the cheapest-to-describe cycle;
+             dedupe and ascend for determinism. *)
+          let verts = Iset.elements (Iset.of_list cycle) in
+          List.iter
+            (fun v ->
+              if not (Iset.mem v chosen) then
+                search (Iset.add v chosen) (chosen_cost +. t.cost v))
+            verts
+  in
+  match search Iset.empty 0.0 with
+  | () -> Some !best_set
+  | exception Budget_exhausted -> None

@@ -1,0 +1,115 @@
+module Iset = Set.Make (Int)
+
+type t = { adj : (int, Iset.t ref) Hashtbl.t }
+
+let create () = { adj = Hashtbl.create 64 }
+
+let copy t =
+  let out = Hashtbl.create (Hashtbl.length t.adj) in
+  Hashtbl.iter (fun k v -> Hashtbl.replace out k (ref !v)) t.adj;
+  { adj = out }
+
+let add_vertex t v =
+  if not (Hashtbl.mem t.adj v) then Hashtbl.replace t.adj v (ref Iset.empty)
+
+let mem_vertex t v = Hashtbl.mem t.adj v
+
+let nbrs t v =
+  match Hashtbl.find_opt t.adj v with None -> Iset.empty | Some s -> !s
+
+let remove_vertex t v =
+  if mem_vertex t v then begin
+    Iset.iter
+      (fun w ->
+        match Hashtbl.find_opt t.adj w with
+        | Some s -> s := Iset.remove v !s
+        | None -> ())
+      (nbrs t v);
+    Hashtbl.remove t.adj v
+  end
+
+let add_edge t u v =
+  add_vertex t u;
+  add_vertex t v;
+  let su = Hashtbl.find t.adj u in
+  su := Iset.add v !su;
+  let sv = Hashtbl.find t.adj v in
+  sv := Iset.add u !sv
+
+let remove_edge t u v =
+  (match Hashtbl.find_opt t.adj u with
+  | Some s -> s := Iset.remove v !s
+  | None -> ());
+  match Hashtbl.find_opt t.adj v with
+  | Some s -> s := Iset.remove u !s
+  | None -> ()
+
+let mem_edge t u v = Iset.mem v (nbrs t u)
+
+let neighbours t v = Iset.elements (nbrs t v)
+let degree t v = Iset.cardinal (nbrs t v)
+
+let vertices t =
+  Hashtbl.fold (fun v _ acc -> v :: acc) t.adj [] |> List.sort compare
+
+let edges t =
+  Hashtbl.fold
+    (fun u s acc ->
+      Iset.fold (fun v acc -> if u <= v then (u, v) :: acc else acc) !s acc)
+    t.adj []
+  |> List.sort compare
+
+let n_vertices t = Hashtbl.length t.adj
+let n_edges t = List.length (edges t)
+
+(* Hopcroft–Tarjan, recursive DFS. Depth is bounded by the number of lock
+   states of one transaction, which is small; recursion is fine. *)
+let articulation_points t =
+  let disc = Hashtbl.create 64 in
+  let low = Hashtbl.create 64 in
+  let cut = Hashtbl.create 16 in
+  let timer = ref 0 in
+  let rec dfs parent v =
+    Hashtbl.replace disc v !timer;
+    Hashtbl.replace low v !timer;
+    incr timer;
+    let children = ref 0 in
+    Iset.iter
+      (fun w ->
+        if w <> v then
+          if not (Hashtbl.mem disc w) then begin
+            incr children;
+            dfs (Some v) w;
+            Hashtbl.replace low v (min (Hashtbl.find low v) (Hashtbl.find low w));
+            (match parent with
+            | Some _ when Hashtbl.find low w >= Hashtbl.find disc v ->
+                Hashtbl.replace cut v ()
+            | _ -> ())
+          end
+          else if parent <> Some w then
+            Hashtbl.replace low v (min (Hashtbl.find low v) (Hashtbl.find disc w)))
+      (nbrs t v);
+    if parent = None && !children > 1 then Hashtbl.replace cut v ()
+  in
+  List.iter (fun v -> if not (Hashtbl.mem disc v) then dfs None v) (vertices t);
+  Hashtbl.fold (fun v () acc -> v :: acc) cut [] |> List.sort compare
+
+let connected_components t =
+  let seen = Hashtbl.create 64 in
+  let component v0 =
+    let acc = ref [] in
+    let rec visit v =
+      if not (Hashtbl.mem seen v) then begin
+        Hashtbl.replace seen v ();
+        acc := v :: !acc;
+        Iset.iter visit (nbrs t v)
+      end
+    in
+    visit v0;
+    List.sort compare !acc
+  in
+  List.filter_map
+    (fun v -> if Hashtbl.mem seen v then None else Some (component v))
+    (vertices t)
+
+let is_connected t = List.length (connected_components t) <= 1

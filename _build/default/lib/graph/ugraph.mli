@@ -1,0 +1,43 @@
+(** Mutable undirected graph over integer vertices, for the paper's
+    state-dependency graphs (Section 4): vertices are lock states, edges
+    record value-destroying writes, and the *articulation points* identify
+    the well-defined (restorable) states (Theorem 4, Corollary 1). *)
+
+type t
+
+val create : unit -> t
+
+val copy : t -> t
+
+val add_vertex : t -> int -> unit
+val remove_vertex : t -> int -> unit
+val mem_vertex : t -> int -> bool
+
+val add_edge : t -> int -> int -> unit
+(** Undirected, simple; self-loops are stored but never affect articulation
+    points. *)
+
+val remove_edge : t -> int -> int -> unit
+val mem_edge : t -> int -> int -> bool
+
+val neighbours : t -> int -> int list
+(** Ascending; a self-loop lists the vertex once. *)
+
+val degree : t -> int -> int
+
+val vertices : t -> int list
+val edges : t -> (int * int) list
+(** Each undirected edge reported once as [(min, max)]. *)
+
+val n_vertices : t -> int
+val n_edges : t -> int
+
+val articulation_points : t -> int list
+(** Hopcroft–Tarjan cut vertices, ascending. A vertex is an articulation
+    point iff removing it increases the number of connected components. *)
+
+val connected_components : t -> int list list
+(** Each sorted ascending; components ordered by smallest member. *)
+
+val is_connected : t -> bool
+(** Vacuously true for the empty graph. *)

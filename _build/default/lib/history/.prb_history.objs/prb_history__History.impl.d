@@ -1,0 +1,1 @@
+lib/history/history.ml: Hashtbl List Prb_graph Prb_storage Prb_txn String

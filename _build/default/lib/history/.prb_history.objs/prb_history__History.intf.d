@@ -1,0 +1,1 @@
+lib/history/history.mli: Prb_graph Prb_storage Prb_txn

@@ -1,0 +1,69 @@
+(** Execution histories and the conflict-serializability check.
+
+    Section 2 of the paper asserts that rollbacks "do not interfere with
+    the serializability of the two-phase protocol"; this module is the
+    oracle our property tests use to hold the whole engine to that claim.
+
+    We record, per transaction and entity, the interval during which the
+    lock was held (shared intervals are reads, exclusive intervals are
+    writes — the store-visible write happens at the unlock that installs
+    the final local copy). Work undone by a rollback is {!discard}ed: a
+    released entity was never observed by anyone (the local copy dies, the
+    global value never changed), so it must leave no trace in the history.
+    Serializability of the {e committed} transactions is then acyclicity
+    of the precedence graph over conflicting intervals. *)
+
+type txn = int
+type entity = Prb_storage.Store.entity
+type mode = Prb_txn.Lock_mode.t
+
+type interval = {
+  txn : txn;
+  entity : entity;
+  mode : mode;
+  granted_at : int;
+  released_at : int;
+}
+
+type t
+
+val create : unit -> t
+
+val note_grant : t -> tick:int -> txn -> entity -> mode -> unit
+(** A lock was granted (an upgrade re-grant replaces the open shared
+    interval with an exclusive one). *)
+
+val note_release : t -> tick:int -> txn -> entity -> unit
+(** The lock was released at unlock/commit time: closes the open
+    interval. Ignored when no interval is open (shared locks released by a
+    rollback are discarded instead). *)
+
+val discard : t -> txn -> entity -> unit
+(** Partial rollback released this entity: erase the open interval. *)
+
+val discard_txn : t -> txn -> unit
+(** Total removal of a transaction: erase its open intervals and any
+    closed-but-uncommitted ones. *)
+
+val commit_txn : t -> txn -> unit
+(** Transaction finished; its closed intervals become part of the
+    committed history. @raise Invalid_argument if it still has an open
+    interval. *)
+
+val committed : t -> interval list
+(** Committed intervals, sorted by grant tick then txn. *)
+
+val precedence_graph : t -> Prb_graph.Digraph.t
+(** Vertices: committed transactions. Edge [a -> b] when [a] and [b] hold
+    conflicting locks on an entity and [a]'s interval ends before [b]'s
+    begins. *)
+
+val overlapping_conflicts : t -> (interval * interval) list
+(** Conflicting committed intervals that overlap in time — impossible
+    under a correct lock manager; non-empty means the engine is broken. *)
+
+val serializable : t -> bool
+(** No overlapping conflicts and an acyclic precedence graph. *)
+
+val equivalent_serial_order : t -> txn list option
+(** A topological order witnessing serializability, when it holds. *)

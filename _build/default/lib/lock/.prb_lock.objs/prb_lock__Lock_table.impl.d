@@ -1,0 +1,1 @@
+lib/lock/lock_table.ml: Hashtbl List Prb_storage Prb_txn

@@ -1,0 +1,1 @@
+lib/lock/lock_table.mli: Prb_storage Prb_txn

@@ -1,0 +1,1 @@
+lib/rollback/allocation.ml: Array Fun List Prb_txn

@@ -1,0 +1,1 @@
+lib/rollback/allocation.mli: Prb_txn

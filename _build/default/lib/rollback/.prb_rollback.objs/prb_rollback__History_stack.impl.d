@@ -1,0 +1,1 @@
+lib/rollback/history_stack.ml: Fmt List Prb_storage

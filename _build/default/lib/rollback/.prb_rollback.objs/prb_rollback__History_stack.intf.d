@@ -1,0 +1,1 @@
+lib/rollback/history_stack.mli: Format Prb_storage

@@ -1,0 +1,1 @@
+lib/rollback/sdg_view.ml: Buffer Fun List Prb_graph Prb_txn Printf

@@ -1,0 +1,1 @@
+lib/rollback/sdg_view.mli: Prb_graph Prb_txn

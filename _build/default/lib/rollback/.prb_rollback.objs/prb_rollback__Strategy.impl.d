@@ -1,0 +1,1 @@
+lib/rollback/strategy.ml: Format Printf String

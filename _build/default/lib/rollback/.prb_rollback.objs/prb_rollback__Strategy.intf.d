@@ -1,0 +1,1 @@
+lib/rollback/strategy.mli: Format

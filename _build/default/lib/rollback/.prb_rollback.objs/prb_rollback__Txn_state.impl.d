@@ -1,0 +1,1 @@
+lib/rollback/txn_state.ml: Array Fmt Fun Hashtbl History_stack List Option Prb_storage Prb_txn Strategy String

@@ -1,0 +1,1 @@
+lib/rollback/txn_state.mli: Format Prb_storage Prb_txn Strategy

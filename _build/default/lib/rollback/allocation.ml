@@ -1,0 +1,120 @@
+module Program = Prb_txn.Program
+
+type t = (string * int) list
+
+let lookup alloc key =
+  match List.assoc_opt key alloc with Some e -> e | None -> 0
+
+(* Distinct write segments per object, ascending. *)
+let segments program =
+  List.filter_map
+    (fun (key, raw) ->
+      match List.sort_uniq compare raw with
+      | [] | [ _ ] -> None (* single-segment writers cause no damage *)
+      | segs -> Some (key, segs))
+    (Program.write_profile program)
+
+let chunks program =
+  List.map
+    (fun (key, segs) ->
+      (* segs = s_1 < ... < s_m; the j-th extra copy frees
+         [s_{m-j}, s_{m-j+1}), newest chunk first. *)
+      let arr = Array.of_list segs in
+      let m = Array.length arr in
+      let cs = List.init (m - 1) (fun j -> (arr.(m - 1 - j - 1), arr.(m - 1 - j))) in
+      (key, cs))
+    (segments program)
+
+let damage_with program ~allocation =
+  List.filter_map
+    (fun (key, segs) ->
+      let arr = Array.of_list segs in
+      let m = Array.length arr in
+      let e = min (max 0 (allocation key)) (m - 1) in
+      let hi = arr.(m - 1 - e) in
+      let lo = arr.(0) in
+      if lo < hi then Some (lo, hi) else None)
+    (segments program)
+
+let well_defined_with program ~allocation =
+  let n = Program.n_locks program in
+  let damaged = damage_with program ~allocation in
+  let ok q =
+    q = 0 || not (List.exists (fun (lo, hi) -> lo <= q && q < hi) damaged)
+  in
+  List.filter ok (List.init (n + 1) Fun.id)
+
+let count_wd program allocation =
+  List.length (well_defined_with program ~allocation:(lookup allocation))
+
+let gain program alloc = count_wd program alloc - count_wd program []
+
+let normalize alloc =
+  List.filter (fun (_, e) -> e > 0) alloc |> List.sort compare
+
+let greedy program ~budget =
+  let all_chunks = chunks program in
+  let rec spend remaining alloc =
+    if remaining = 0 then alloc
+    else
+      let base = count_wd program alloc in
+      let candidates =
+        List.filter_map
+          (fun (key, cs) ->
+            let taken = lookup alloc key in
+            if taken >= List.length cs then None
+            else
+              let alloc' = (key, taken + 1) :: List.remove_assoc key alloc in
+              let g = count_wd program alloc' - base in
+              if g > 0 then Some (key, alloc', g) else None)
+          all_chunks
+      in
+      match candidates with
+      | [] -> alloc (* no chunk helps: stop early *)
+      | _ ->
+          let best =
+            List.fold_left
+              (fun acc (key, alloc', g) ->
+                match acc with
+                | None -> Some (key, alloc', g)
+                | Some (bk, _, bg) as keep ->
+                    if g > bg || (g = bg && key < bk) then Some (key, alloc', g)
+                    else keep)
+              None candidates
+          in
+          (match best with
+          | Some (_, alloc', _) -> spend (remaining - 1) alloc'
+          | None -> alloc)
+  in
+  normalize (spend (max 0 budget) [])
+
+let exact program ~budget =
+  let objs = chunks program in
+  (* enumerate every distribution of [0..budget] copies over the objects,
+     capped per object at its chunk count *)
+  let best = ref ([], count_wd program [], 0) in
+  let consider alloc spent =
+    let wd = count_wd program alloc in
+    let _, best_wd, best_spent = !best in
+    if
+      wd > best_wd
+      || (wd = best_wd && spent < best_spent)
+      || (wd = best_wd && spent = best_spent
+          && normalize alloc < (let a, _, _ = !best in a))
+    then best := (normalize alloc, wd, spent)
+  in
+  let rec enumerate objs remaining alloc spent =
+    consider alloc spent;
+    match objs with
+    | [] -> ()
+    | (key, cs) :: rest ->
+        let cap = min remaining (List.length cs) in
+        for e = 0 to cap do
+          enumerate rest (remaining - e)
+            (if e = 0 then alloc else (key, e) :: alloc)
+            (spent + e)
+        done
+  in
+  enumerate objs (max 0 budget) [] 0;
+  let a, _, _ = !best in
+  a

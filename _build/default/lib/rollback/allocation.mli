@@ -1,0 +1,51 @@
+(** Copy-budget allocation — the paper's closing open question.
+
+    Section 5 ends: "The problem of determining how to allocate a bounded
+    amount of extra storage to the entities in order to maximize the
+    number of well-defined states in such systems remains another
+    interesting question for further study." This module studies it.
+
+    Under a single-copy (SDG) engine, an object written in distinct lock
+    segments [s_1 < ... < s_m] destroys states [[s_1, s_m)]. Retaining
+    [e] extra versions keeps the newest [1+e], shrinking the damage to
+    [[s_1, s_{m-e})]: the j-th extra copy frees exactly the {e chunk}
+    [[s_{m-j}, s_{m-j+1})]. Allocating a global budget of extra copies
+    across objects to maximise the well-defined states is therefore a
+    (weighted, overlapping) coverage problem. We provide a marginal-gain
+    greedy — the natural heuristic, since chunks must be taken newest
+    first per object — and an exhaustive solver for small instances, used
+    to test the greedy and to report its optimality gap.
+
+    Allocations feed back into the runtime through
+    {!Txn_state.create}'s [copy_allocation] parameter (object keys are
+    {!Prb_txn.Program.write_profile}'s: ["G:entity"] / ["L:local"]). *)
+
+type t = (string * int) list
+(** Extra copies per object key; absent keys get zero. Sorted. *)
+
+val lookup : t -> string -> int
+
+val chunks : Prb_txn.Program.t -> (string * (int * int) list) list
+(** Per written object, the damage chunk freed by each successive extra
+    copy, in the order the copies must be taken (newest chunk first);
+    objects with single-segment writes have no chunks. *)
+
+val well_defined_with :
+  Prb_txn.Program.t -> allocation:(string -> int) -> int list
+(** The well-defined lock states under a given allocation; with the zero
+    allocation this equals {!Sdg_view.well_defined_states}, and with
+    every object fully funded it is all states. *)
+
+val greedy : Prb_txn.Program.t -> budget:int -> t
+(** Spend the budget one copy at a time, each time on the object whose
+    next chunk uncovers the most still-damaged states (ties to the
+    lexicographically smaller key). Stops early when no chunk gains. *)
+
+val exact : Prb_txn.Program.t -> budget:int -> t
+(** Exhaustive search over distributions (exponential: test/report use on
+    small programs only). Maximises well-defined states; among optima,
+    spends the least and prefers the lexicographically smallest. *)
+
+val gain : Prb_txn.Program.t -> t -> int
+(** Well-defined states under the allocation minus the zero-allocation
+    baseline. *)

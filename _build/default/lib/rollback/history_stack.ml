@@ -1,0 +1,118 @@
+module Value = Prb_storage.Value
+
+type t = {
+  budget : int;
+  created : int;
+  initial : Value.t;
+  mutable versions : (int * Value.t) list; (* newest first; lock indices strictly decreasing *)
+  mutable n_versions : int;
+  mutable damaged : (int * int) list; (* [lo, hi) ascending, disjoint, merged *)
+  mutable peak : int;
+}
+
+let create ~budget ~created_at ~initial =
+  if budget < 1 then invalid_arg "History_stack.create: budget < 1";
+  {
+    budget;
+    created = created_at;
+    initial;
+    versions = [];
+    n_versions = 0;
+    damaged = [];
+    peak = 1;
+  }
+
+let created_at t = t.created
+
+let current t =
+  match t.versions with [] -> t.initial | (_, v) :: _ -> v
+
+let n_versions t = t.n_versions
+let n_copies t = t.n_versions + 1
+let peak_copies t = t.peak
+
+let add_damage t lo hi =
+  if lo < hi then begin
+    (* Insert and merge; the list stays short (one interval per eviction,
+       adjacent evictions merge). *)
+    let merged =
+      let rec insert = function
+        | [] -> [ (lo, hi) ]
+        | (a, b) :: rest ->
+            if hi < a then (lo, hi) :: (a, b) :: rest
+            else if b < lo then (a, b) :: insert rest
+            else
+              (* overlap or adjacency *)
+              insert_merged (min a lo) (max b hi) rest
+      and insert_merged a b = function
+        | [] -> [ (a, b) ]
+        | (c, d) :: rest ->
+            if b < c then (a, b) :: (c, d) :: rest
+            else insert_merged a (max b d) rest
+      in
+      insert t.damaged
+    in
+    t.damaged <- merged
+  end
+
+(* Evict the oldest retained version; the states it covered — from its own
+   write index up to the next version's — become damaged. *)
+let evict_oldest t =
+  let rec split acc = function
+    | [] -> assert false
+    | [ (w, _) ] ->
+        let upper =
+          match acc with [] -> assert false | (w', _) :: _ -> w'
+        in
+        (List.rev acc, w, upper)
+    | x :: rest -> split (x :: acc) rest
+  in
+  let kept, lo, hi = split [] t.versions in
+  t.versions <- kept;
+  t.n_versions <- t.n_versions - 1;
+  add_damage t lo hi
+
+let write t ~lock_index value =
+  (match t.versions with
+  | (w, _) :: _ when lock_index < w ->
+      invalid_arg "History_stack.write: lock index went backwards"
+  | _ -> ());
+  (match t.versions with
+  | (w, _) :: rest when w = lock_index ->
+      (* Same segment: only the final value of a segment is observable at
+         any lock state, so coalesce. *)
+      t.versions <- (w, value) :: rest
+  | _ ->
+      t.versions <- (lock_index, value) :: t.versions;
+      t.n_versions <- t.n_versions + 1;
+      if t.n_versions > t.budget then evict_oldest t);
+  if t.n_versions + 1 > t.peak then t.peak <- t.n_versions + 1
+
+let damaged t = t.damaged
+
+let is_restorable t q =
+  not (List.exists (fun (lo, hi) -> lo <= q && q < hi) t.damaged)
+
+let value_at t q =
+  if not (is_restorable t q) then None
+  else
+    let rec newest_at = function
+      | [] -> t.initial
+      | (w, v) :: rest -> if w <= q then v else newest_at rest
+    in
+    Some (newest_at t.versions)
+
+let truncate t q =
+  if not (is_restorable t q) then
+    invalid_arg "History_stack.truncate: target state is damaged";
+  t.versions <- List.filter (fun (w, _) -> w <= q) t.versions;
+  t.n_versions <- List.length t.versions;
+  t.damaged <- List.filter (fun (_, hi) -> hi <= q) t.damaged
+
+let pp ppf t =
+  Fmt.pf ppf "@[<h>history(created=%d, current=%a, versions=[%a], damaged=[%a])@]"
+    t.created Value.pp (current t)
+    Fmt.(list ~sep:(any "; ") (pair ~sep:(any ":") int Value.pp))
+    t.versions
+    Fmt.(list ~sep:(any "; ") (pair ~sep:(any ",") int int))
+    t.damaged

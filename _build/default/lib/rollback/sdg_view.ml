@@ -1,0 +1,101 @@
+module Program = Prb_txn.Program
+module Ugraph = Prb_graph.Ugraph
+
+let spans program =
+  (* (first segment, last segment, all segments) per object written in >= 2
+     distinct segments. *)
+  List.filter_map
+    (fun (_, segments) ->
+      match segments with
+      | [] -> None
+      | first :: _ ->
+          let last = List.fold_left max first segments in
+          if last > first then Some (first, last, segments) else None)
+    (Program.write_profile program)
+
+let of_program program =
+  let n = Program.n_locks program in
+  let g = Ugraph.create () in
+  for q = 0 to n do
+    Ugraph.add_vertex g q
+  done;
+  for q = 0 to n - 1 do
+    Ugraph.add_edge g q (q + 1)
+  done;
+  List.iter
+    (fun (first, _, segments) ->
+      let u = first - 1 in
+      List.iter
+        (fun w -> if w > first then Ugraph.add_edge g u w)
+        segments)
+    (spans program);
+  g
+
+let damage_intervals program =
+  let intervals =
+    List.map (fun (first, last, _) -> (first, last)) (spans program)
+    |> List.sort compare
+  in
+  let rec merge = function
+    | (a, b) :: (c, d) :: rest when c <= b -> merge ((a, max b d) :: rest)
+    | x :: rest -> x :: merge rest
+    | [] -> []
+  in
+  merge intervals
+
+let well_defined_states program =
+  let n = Program.n_locks program in
+  let damaged = damage_intervals program in
+  (* State 0 is always reachable: rolling back to the first lock request is
+     a restart, re-executing the (purely local, deterministic) pre-lock
+     prefix — no stored copy is needed. *)
+  let ok q = q = 0 || not (List.exists (fun (lo, hi) -> lo <= q && q < hi) damaged) in
+  List.filter ok (List.init (n + 1) Fun.id)
+
+let well_defined_via_articulation program =
+  let n = Program.n_locks program in
+  if n = 0 then [ 0 ]
+  else
+    let g = of_program program in
+    let cuts = Ugraph.articulation_points g in
+    let interior = List.filter (fun q -> q > 0 && q < n) cuts in
+    List.sort_uniq compare (0 :: n :: interior)
+
+let to_dot program =
+  let n = Program.n_locks program in
+  let wd = well_defined_states program in
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "graph sdg {\n  rankdir=LR;\n";
+  for q = 0 to n do
+    Buffer.add_string buf
+      (Printf.sprintf "  s%d [label=\"%d\"%s];\n" q q
+         (if List.mem q wd then ", shape=doublecircle" else ", shape=circle"))
+  done;
+  for q = 0 to n - 1 do
+    Buffer.add_string buf (Printf.sprintf "  s%d -- s%d;\n" q (q + 1))
+  done;
+  List.iter
+    (fun (obj, segments) ->
+      match segments with
+      | [] -> ()
+      | first :: _ ->
+          List.iter
+            (fun w ->
+              if w > first then
+                Buffer.add_string buf
+                  (Printf.sprintf "  s%d -- s%d [style=dashed, label=%S];\n"
+                     (first - 1) w obj))
+            segments)
+    (Program.write_profile program);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let rollback_overshoot program entity =
+  match Program.lock_state_of_entity program entity with
+  | None -> None
+  | Some k ->
+      let ok = well_defined_states program in
+      let best =
+        List.fold_left (fun acc q -> if q <= k then max acc q else acc) 0 ok
+      in
+      Some (k - best)

@@ -1,0 +1,50 @@
+(** Static state-dependency-graph analysis of a transaction program
+    (paper Section 4, Figures 4 and 5).
+
+    The SDG of a transaction that runs to completion is determined by the
+    program text alone: vertices are lock states [0 .. n] (labelled by
+    lock index), chain edges join consecutive states, and every non-first
+    write to an object adds an edge from the object's {e index of
+    restorability} (the last lock state before its first write) to the
+    write's segment. A state is {e well-defined} — reproducible under a
+    single-copy implementation — iff no edge strictly spans it, which by
+    Corollary 1 is the articulation-point condition.
+
+    The runtime equivalent for partially-executed transactions lives in
+    {!Txn_state}; on completed transactions the two agree (tested). *)
+
+val of_program : Prb_txn.Program.t -> Prb_graph.Ugraph.t
+(** The paper's graph: vertices [0 .. n_locks] plus chain edges, and one
+    edge [{w1 - 1, w}] per non-first write in segment [w] to an object
+    first written in segment [w1]. A pre-lock write ([w1 = 0]) uses the
+    synthetic vertex [-1]. *)
+
+val damage_intervals : Prb_txn.Program.t -> (int * int) list
+(** Disjoint, merged, ascending intervals [[lo, hi)] of lock states that a
+    single-copy implementation cannot restore: one interval [\[first write
+    segment, last write segment)] per object written in two or more
+    segments. *)
+
+val well_defined_states : Prb_txn.Program.t -> int list
+(** Lock states [0 .. n_locks] outside every damage interval, ascending.
+    [0] (total restart — always reachable by re-executing the local
+    pre-lock prefix) and [n_locks] (the current state) are always
+    included — the paper's "trivial" well-defined states. *)
+
+val well_defined_via_articulation : Prb_txn.Program.t -> int list
+(** The same set computed the paper's way — articulation points of
+    {!of_program} (interior states), plus the trivial endpoints. Agrees
+    with {!well_defined_states}; both are exposed so tests can check the
+    equivalence (Theorem 4 / Corollary 1). *)
+
+val to_dot : Prb_txn.Program.t -> string
+(** Graphviz rendering of {!of_program}: lock states as nodes (doubled
+    circles for well-defined ones), chain edges solid, write edges dashed
+    and labelled with the object that caused them. *)
+
+val rollback_overshoot : Prb_txn.Program.t -> string -> int option
+(** [rollback_overshoot p entity] — if a deadlock forced [p] to release
+    [entity], a single-copy implementation rolls back to the nearest
+    well-defined state at or below the entity's lock state; the result is
+    that distance in lock states (0 when the lock state itself is
+    well-defined). [None] when the program never locks the entity. *)

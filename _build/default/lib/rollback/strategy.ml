@@ -1,0 +1,37 @@
+type t = Total | Mcs | Sdg | Sdg_k of int
+
+let version_budget = function
+  | Total | Sdg -> 1
+  | Mcs -> max_int
+  | Sdg_k k ->
+      if k < 0 then invalid_arg "Strategy.version_budget: negative k";
+      1 + k
+
+let equal a b =
+  match (a, b) with
+  | Total, Total | Mcs, Mcs | Sdg, Sdg -> true
+  | Sdg_k i, Sdg_k j -> i = j
+  | (Total | Mcs | Sdg | Sdg_k _), _ -> false
+
+let to_string = function
+  | Total -> "total"
+  | Mcs -> "mcs"
+  | Sdg -> "sdg"
+  | Sdg_k k -> Printf.sprintf "sdg+%d" k
+
+let of_string = function
+  | "total" -> Some Total
+  | "mcs" -> Some Mcs
+  | "sdg" -> Some Sdg
+  | s ->
+      let prefix = "sdg+" in
+      let lp = String.length prefix in
+      if String.length s > lp && String.sub s 0 lp = prefix then
+        match int_of_string_opt (String.sub s lp (String.length s - lp)) with
+        | Some k when k >= 0 -> Some (Sdg_k k)
+        | Some _ | None -> None
+      else None
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)
+
+let all_basic = [ Total; Mcs; Sdg ]

@@ -1,0 +1,42 @@
+(** Rollback implementation strategies (paper Section 4, plus the Section 5
+    extension).
+
+    All four share one mechanism — a per-object version history with a
+    retention budget (see {!History_stack}) — and differ only in the budget
+    and in how far back they are able (or willing) to roll:
+
+    - {b Total}: the classical remove-and-restart of [7,10]. One local copy
+      per object; the only rollback target is lock state 0.
+    - {b Mcs}: the multi-lock copy strategy. Unbounded version stacks, so
+      every lock state is restorable; worst-case space n(n+1)/2 copies of
+      globals (Theorem 3).
+    - {b Sdg}: the state-dependency-graph strategy. One local copy per
+      object; overwritten values are gone, so only {e well-defined} lock
+      states are restorable and rollback may overshoot the minimal target.
+    - {b Sdg_k k}: the paper's closing extension — [k] extra retained
+      copies per object push more states into the well-defined set. *)
+
+type t =
+  | Total
+  | Mcs
+  | Sdg
+  | Sdg_k of int  (** extra retained versions per object; [Sdg_k 0 = Sdg] *)
+
+val version_budget : t -> int
+(** Maximum number of versions (live copy included) a {!History_stack} may
+    retain under the strategy: [max_int] for [Mcs], [1] for [Total]/[Sdg],
+    [1 + k] for [Sdg_k k]. *)
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string
+(** ["total"], ["mcs"], ["sdg"], ["sdg+3"]. *)
+
+val of_string : string -> t option
+(** Inverse of {!to_string}, for the CLI. *)
+
+val all_basic : t list
+(** [Total; Mcs; Sdg] — the three strategies of Section 4, swept by the
+    benches. *)

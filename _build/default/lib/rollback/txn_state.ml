@@ -1,0 +1,345 @@
+module Value = Prb_storage.Value
+module Store = Prb_storage.Store
+module Program = Prb_txn.Program
+module Expr = Prb_txn.Expr
+module Lock_mode = Prb_txn.Lock_mode
+
+type entity = Store.entity
+type var = Expr.var
+
+type phase = Growing | Shrinking | Committed
+
+type lock_record = {
+  lr_entity : entity;
+  lr_mode : Lock_mode.t;
+  lr_pc : int; (* position of the lock op = state index at this lock state *)
+}
+
+type t = {
+  id : int;
+  program : Program.t;
+  strategy : Strategy.t;
+  store : Store.t;
+  budget : int;
+  copy_allocation : string -> int;
+  mutable pc : int;
+  mutable lock_idx : int;
+  mutable phase : phase;
+  locals : (var, History_stack.t) Hashtbl.t;
+  shadows : (entity, History_stack.t) Hashtbl.t; (* X-held entities *)
+  mutable records : lock_record list; (* newest first; length = lock_idx *)
+  mutable total_executed : int;
+  mutable rollbacks : int;
+  mutable ops_lost : int;
+  mutable monitored_writes : int;
+  mutable peak_copies : int;
+}
+
+let create ?(copy_allocation = fun _ -> 0) ~strategy ~id ~store program =
+  (match Program.validate program with
+  | Ok () -> ()
+  | Error ((i, v) :: _) ->
+      invalid_arg
+        (Fmt.str "Txn_state.create: invalid program %s: op %d: %a"
+           program.Program.name i Program.pp_violation v)
+  | Error [] -> assert false);
+  let budget = Strategy.version_budget strategy in
+  let object_budget key =
+    if budget = max_int then budget
+    else budget + max 0 (copy_allocation key)
+  in
+  let locals = Hashtbl.create 8 in
+  List.iter
+    (fun (v, init) ->
+      Hashtbl.replace locals v
+        (History_stack.create ~budget:(object_budget ("L:" ^ v)) ~created_at:0
+           ~initial:init))
+    program.Program.locals;
+  {
+    id;
+    program;
+    strategy;
+    store;
+    budget;
+    copy_allocation;
+    pc = 0;
+    lock_idx = 0;
+    phase = Growing;
+    locals;
+    shadows = Hashtbl.create 8;
+    records = [];
+    total_executed = 0;
+    rollbacks = 0;
+    ops_lost = 0;
+    monitored_writes = 0;
+    peak_copies = 0;
+  }
+
+let id t = t.id
+let program t = t.program
+let strategy t = t.strategy
+let phase t = t.phase
+
+let pp_phase ppf = function
+  | Growing -> Fmt.string ppf "growing"
+  | Shrinking -> Fmt.string ppf "shrinking"
+  | Committed -> Fmt.string ppf "committed"
+
+let pc t = t.pc
+let lock_index t = t.lock_idx
+let finished t = t.pc >= Program.length t.program
+
+type action =
+  | Need_lock of Lock_mode.t * entity
+  | Need_unlock of entity
+  | Data_step
+  | At_end
+
+let next_action t =
+  if finished t then At_end
+  else
+    match t.program.Program.ops.(t.pc) with
+    | Program.Lock (m, e) -> Need_lock (m, e)
+    | Program.Unlock e -> Need_unlock e
+    | Program.Read _ | Program.Write _ | Program.Assign _ -> Data_step
+
+let all_histories t =
+  Hashtbl.fold (fun _ h acc -> h :: acc) t.locals []
+  |> Hashtbl.fold (fun _ h acc -> h :: acc) t.shadows
+
+let current_copies t =
+  List.fold_left (fun acc h -> acc + History_stack.n_copies h) 0 (all_histories t)
+
+let note_copies t =
+  let c = current_copies t in
+  if c > t.peak_copies then t.peak_copies <- c
+
+let lock_granted t =
+  (match next_action t with
+  | Need_lock (mode, e) ->
+      t.records <- { lr_entity = e; lr_mode = mode; lr_pc = t.pc } :: t.records;
+      if Lock_mode.equal mode Lock_mode.Exclusive then begin
+        let budget =
+          if t.budget = max_int then t.budget
+          else t.budget + max 0 (t.copy_allocation ("G:" ^ e))
+        in
+        Hashtbl.replace t.shadows e
+          (History_stack.create ~budget ~created_at:t.lock_idx
+             ~initial:(Store.get t.store e))
+      end;
+      t.lock_idx <- t.lock_idx + 1;
+      t.pc <- t.pc + 1;
+      t.total_executed <- t.total_executed + 1;
+      note_copies t
+  | Need_unlock _ | Data_step | At_end ->
+      invalid_arg "Txn_state.lock_granted: current op is not a lock request")
+
+let local_history t v =
+  match Hashtbl.find_opt t.locals v with
+  | Some h -> h
+  | None -> raise Not_found
+
+let local_value t v = History_stack.current (local_history t v)
+
+let env t v = local_value t v
+
+let holds_record t e =
+  List.find_opt (fun r -> String.equal r.lr_entity e) t.records
+
+let holds t e = Option.map (fun r -> r.lr_mode) (holds_record t e)
+
+let read_view t e =
+  match Hashtbl.find_opt t.shadows e with
+  | Some h -> History_stack.current h
+  | None -> (
+      match holds t e with
+      | Some Lock_mode.Shared -> Store.get t.store e
+      | Some Lock_mode.Exclusive -> assert false (* shadow must exist *)
+      | None -> raise Not_found)
+
+let n_program_locks t = Program.n_locks t.program
+
+let write_local t v value =
+  History_stack.write (local_history t v) ~lock_index:t.lock_idx value;
+  if t.lock_idx < n_program_locks t then
+    t.monitored_writes <- t.monitored_writes + 1
+
+let write_entity t e value =
+  match Hashtbl.find_opt t.shadows e with
+  | Some h ->
+      History_stack.write h ~lock_index:t.lock_idx value;
+      if t.lock_idx < n_program_locks t then
+        t.monitored_writes <- t.monitored_writes + 1
+  | None -> invalid_arg "Txn_state: write to entity without exclusive shadow"
+
+let exec_data_op t =
+  (match next_action t with
+  | Data_step -> (
+      match t.program.Program.ops.(t.pc) with
+      | Program.Read (e, v) -> write_local t v (read_view t e)
+      | Program.Write (e, x) -> write_entity t e (Expr.eval (env t) x)
+      | Program.Assign (v, x) -> write_local t v (Expr.eval (env t) x)
+      | Program.Lock _ | Program.Unlock _ -> assert false)
+  | Need_lock _ | Need_unlock _ | At_end ->
+      invalid_arg "Txn_state.exec_data_op: current op is not a data op");
+  t.pc <- t.pc + 1;
+  t.total_executed <- t.total_executed + 1;
+  note_copies t
+
+let perform_unlock t =
+  match next_action t with
+  | Need_unlock e ->
+      let final =
+        match Hashtbl.find_opt t.shadows e with
+        | Some h ->
+            Hashtbl.remove t.shadows e;
+            Some (History_stack.current h)
+        | None -> None
+      in
+      t.phase <- Shrinking;
+      t.pc <- t.pc + 1;
+      t.total_executed <- t.total_executed + 1;
+      (e, final)
+  | Need_lock _ | Data_step | At_end ->
+      invalid_arg "Txn_state.perform_unlock: current op is not an unlock"
+
+let commit t =
+  if not (finished t) then invalid_arg "Txn_state.commit: program not finished";
+  let finals =
+    Hashtbl.fold
+      (fun e h acc -> (e, History_stack.current h) :: acc)
+      t.shadows []
+    |> List.sort compare
+  in
+  Hashtbl.reset t.shadows;
+  t.phase <- Committed;
+  finals
+
+let locks_held t =
+  List.mapi (fun k r -> (r.lr_entity, r.lr_mode, k)) (List.rev t.records)
+
+let lock_state_of t e =
+  let rec scan k = function
+    | [] -> None
+    | r :: rest ->
+        if String.equal r.lr_entity e then Some k else scan (k - 1) rest
+  in
+  scan (t.lock_idx - 1) t.records
+
+let well_defined t q =
+  if q < 0 || q > t.lock_idx then false
+  else
+    List.for_all (fun h -> History_stack.is_restorable h q) (all_histories t)
+
+let well_defined_states t =
+  List.filter (well_defined t) (List.init (t.lock_idx + 1) Fun.id)
+
+(* The pseudo-target [restart_target] (-1) is a full restart: reset to
+   pc 0 with declared initial locals and re-execute everything, the
+   remove-and-restart of [7,10]. It needs no stored copies and is always
+   available. Lock state 0 is distinct: it keeps the pre-lock local
+   computation (cost counted from the first lock request, matching
+   Figure 1's state-index arithmetic). *)
+let restart_target = -1
+
+let rollback_target t e =
+  match lock_state_of t e with
+  | None -> invalid_arg "Txn_state.rollback_target: entity not held"
+  | Some k -> (
+      match t.strategy with
+      | Strategy.Total -> restart_target
+      | Strategy.Mcs -> k
+      | Strategy.Sdg | Strategy.Sdg_k _ ->
+          let rec best q =
+            if q < 0 then restart_target
+            else if well_defined t q then q
+            else best (q - 1)
+          in
+          best k)
+
+(* State index at a rollback target: the position of the q-th lock
+   request ([records] is newest-first, so offset [lock_idx - 1 - q]), or
+   0 for the restart pseudo-target, whose cost is the whole progress. *)
+let pc_at_lock_state t q =
+  if q = restart_target then 0
+  else (List.nth t.records (t.lock_idx - 1 - q)).lr_pc
+
+let cost_of_target t q = t.pc - pc_at_lock_state t q
+
+let cost_to_release t e = cost_of_target t (rollback_target t e)
+
+let reset_locals t =
+  Hashtbl.reset t.locals;
+  List.iter
+    (fun (v, init) ->
+      let budget =
+        if t.budget = max_int then t.budget
+        else t.budget + max 0 (t.copy_allocation ("L:" ^ v))
+      in
+      Hashtbl.replace t.locals v
+        (History_stack.create ~budget ~created_at:0 ~initial:init))
+    t.program.Program.locals
+
+let rollback_to t target =
+  if t.phase <> Growing then
+    invalid_arg "Txn_state.rollback_to: transaction is not in growing phase";
+  if target < restart_target || target > t.lock_idx then
+    invalid_arg "Txn_state.rollback_to: target out of range";
+  if target >= 0 && not (well_defined t target) then
+    invalid_arg "Txn_state.rollback_to: target state is not well-defined";
+  let old_pc = t.pc in
+  let released = List.map (fun r -> r.lr_entity) t.records in
+  let released =
+    if target = restart_target then begin
+      (* Full restart: locals are rebuilt from declared initials and the
+         whole program, pre-lock prefix included, re-executes. *)
+      reset_locals t;
+      Hashtbl.reset t.shadows;
+      t.records <- [];
+      t.lock_idx <- 0;
+      t.pc <- 0;
+      released
+    end
+    else begin
+      (* Lock records for lock states >= target are undone. [records] is
+         newest-first: the first [lock_idx - target] entries. *)
+      let n_undone = t.lock_idx - target in
+      let rec split acc k records =
+        if k = 0 then (List.rev acc, records)
+        else
+          match records with
+          | [] -> assert false
+          | r :: rest -> split (r :: acc) (k - 1) rest
+      in
+      let undone, kept = split [] n_undone t.records in
+      List.iter (fun r -> Hashtbl.remove t.shadows r.lr_entity) undone;
+      Hashtbl.iter (fun _ h -> History_stack.truncate h target) t.locals;
+      Hashtbl.iter (fun _ h -> History_stack.truncate h target) t.shadows;
+      t.records <- kept;
+      t.lock_idx <- target;
+      (* The oldest undone record is the lock request at state [target]:
+         execution resumes by re-issuing that request. *)
+      (match undone with
+      | [] -> () (* target = current lock state: nothing to undo *)
+      | _ -> t.pc <- (List.nth undone (n_undone - 1)).lr_pc);
+      List.map (fun r -> r.lr_entity) undone
+    end
+  in
+  t.rollbacks <- t.rollbacks + 1;
+  t.ops_lost <- t.ops_lost + (old_pc - t.pc);
+  released
+
+let total_executed t = t.total_executed
+let n_rollbacks t = t.rollbacks
+let ops_lost t = t.ops_lost
+let peak_copies t = max t.peak_copies (current_copies t)
+let monitored_writes t = t.monitored_writes
+let entry_order t = t.id
+
+let pp ppf t =
+  Fmt.pf ppf
+    "@[<h>T%d[%s pc=%d lock_idx=%d %a locks={%a} copies=%d rollbacks=%d]@]"
+    t.id t.program.Program.name t.pc t.lock_idx pp_phase t.phase
+    Fmt.(list ~sep:(any ", ") (fun ppf (e, m, k) ->
+             pf ppf "%s:%a@@%d" e Lock_mode.pp m k))
+    (locks_held t) (current_copies t) t.rollbacks

@@ -1,0 +1,1 @@
+lib/sim/sim.ml: Array Float Fmt List Option Prb_core Prb_history Prb_storage Prb_util Prb_workload

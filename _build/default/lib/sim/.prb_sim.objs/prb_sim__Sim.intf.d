@@ -1,0 +1,1 @@
+lib/sim/sim.mli: Format Prb_core Prb_storage Prb_txn Prb_workload

@@ -1,0 +1,169 @@
+module Scheduler = Prb_core.Scheduler
+module History = Prb_history.History
+module Store = Prb_storage.Store
+
+type config = { scheduler : Scheduler.config; mpl : int }
+
+let default_config = { scheduler = Scheduler.default_config; mpl = 8 }
+
+type result = {
+  stats : Scheduler.stats;
+  n_txns : int;
+  throughput : float;
+  deadlock_rate : float;
+  mean_rollback_cost : float;
+  wasted_fraction : float;
+  serializable : bool;
+  peak_copies : int;
+  store_installs : int;
+}
+
+let run ?(config = default_config) ~store programs =
+  if config.mpl < 1 then invalid_arg "Sim.run: mpl must be >= 1";
+  let sched = Scheduler.create ~config:config.scheduler store in
+  let pending = ref programs in
+  let submitted = ref 0 in
+  let submit_next () =
+    match !pending with
+    | [] -> ()
+    | p :: rest ->
+        pending := rest;
+        incr submitted;
+        ignore (Scheduler.submit sched p)
+  in
+  (* Keep [mpl] transactions in the system until the program list dries
+     up; every non-blocked live transaction always has a pending event, so
+     [step] returning false means the run is over. *)
+  let refill () =
+    while
+      !pending <> [] && !submitted - Scheduler.n_committed sched < config.mpl
+    do
+      submit_next ()
+    done
+  in
+  refill ();
+  while Scheduler.step sched do
+    refill ()
+  done;
+  let stats = Scheduler.stats sched in
+  let n_txns = List.length programs in
+  let fl = float_of_int in
+  {
+    stats;
+    n_txns;
+    throughput =
+      (if stats.Scheduler.ticks = 0 then nan
+       else 1000.0 *. fl stats.Scheduler.commits /. fl stats.Scheduler.ticks);
+    deadlock_rate =
+      (if stats.Scheduler.commits = 0 then nan
+       else fl stats.Scheduler.deadlocks /. fl stats.Scheduler.commits);
+    mean_rollback_cost =
+      (if stats.Scheduler.rollbacks = 0 then nan
+       else fl stats.Scheduler.ops_lost /. fl stats.Scheduler.rollbacks);
+    wasted_fraction =
+      (if stats.Scheduler.ops_executed = 0 then nan
+       else
+         fl (stats.Scheduler.ops_executed - stats.Scheduler.ops_committed)
+         /. fl stats.Scheduler.ops_executed);
+    serializable = History.serializable (Scheduler.history sched);
+    peak_copies = stats.Scheduler.peak_copies;
+    store_installs = Store.install_count store;
+  }
+
+let run_generated ?config ~params ~seed ~n_txns () =
+  let store = Prb_workload.Generator.populate params in
+  let programs = Prb_workload.Generator.generate params ~seed ~n:n_txns in
+  run ?config ~store programs
+
+module Open = struct
+  type open_result = {
+    closed : result;
+    offered_rate : float;
+    mean_latency : float;
+    p50_latency : float;
+    p95_latency : float;
+    max_latency : float;
+  }
+
+  let run ?(scheduler = Scheduler.default_config) ~store ~arrivals_per_ktick
+      ~arrival_seed programs =
+    if arrivals_per_ktick <= 0.0 then
+      invalid_arg "Sim.Open.run: arrival rate must be positive";
+    let rng = Prb_util.Rng.make arrival_seed in
+    let per_tick = arrivals_per_ktick /. 1000.0 in
+    let sched = Scheduler.create ~config:scheduler store in
+    (* exponential inter-arrival times, accumulated and rounded *)
+    let clock = ref 0.0 in
+    let ids =
+      List.map
+        (fun p ->
+          let u = Float.max 1e-12 (Prb_util.Rng.float rng 1.0) in
+          clock := !clock +. (-.Float.log u /. per_tick);
+          Scheduler.submit_at sched ~at:(int_of_float !clock) p)
+        programs
+    in
+    while Scheduler.step sched do
+      ()
+    done;
+    let stats = Scheduler.stats sched in
+    let latencies =
+      List.filter_map
+        (fun id -> Option.map float_of_int (Scheduler.latency sched id))
+        ids
+      |> Array.of_list
+    in
+    let n_txns = List.length programs in
+    let fl = float_of_int in
+    let closed =
+      {
+        stats;
+        n_txns;
+        throughput =
+          (if stats.Scheduler.ticks = 0 then nan
+           else 1000.0 *. fl stats.Scheduler.commits /. fl stats.Scheduler.ticks);
+        deadlock_rate =
+          (if stats.Scheduler.commits = 0 then nan
+           else fl stats.Scheduler.deadlocks /. fl stats.Scheduler.commits);
+        mean_rollback_cost =
+          (if stats.Scheduler.rollbacks = 0 then nan
+           else fl stats.Scheduler.ops_lost /. fl stats.Scheduler.rollbacks);
+        wasted_fraction =
+          (if stats.Scheduler.ops_executed = 0 then nan
+           else
+             fl (stats.Scheduler.ops_executed - stats.Scheduler.ops_committed)
+             /. fl stats.Scheduler.ops_executed);
+        serializable = History.serializable (Scheduler.history sched);
+        peak_copies = stats.Scheduler.peak_copies;
+        store_installs = Store.install_count store;
+      }
+    in
+    let pct p =
+      if Array.length latencies = 0 then nan
+      else Prb_util.Stats.percentile latencies p
+    in
+    {
+      closed;
+      offered_rate = arrivals_per_ktick;
+      mean_latency =
+        (if Array.length latencies = 0 then nan
+         else Array.fold_left ( +. ) 0.0 latencies /. fl (Array.length latencies));
+      p50_latency = pct 50.0;
+      p95_latency = pct 95.0;
+      max_latency = pct 100.0;
+    }
+
+  let pp ppf r =
+    Fmt.pf ppf
+      "@[<v>offered: %.1f txns/kTick@,commits: %d@,latency mean %.1f, p50 \
+       %.1f, p95 %.1f, max %.1f ticks@,serializable: %b@]"
+      r.offered_rate r.closed.stats.Scheduler.commits r.mean_latency
+      r.p50_latency r.p95_latency r.max_latency r.closed.serializable
+end
+
+let pp_result ppf r =
+  Fmt.pf ppf
+    "@[<v>txns: %d@,%a@,throughput: %.2f commits/kTick@,\
+     deadlock rate: %.3f/txn@,mean rollback cost: %.2f ops@,\
+     wasted work: %.1f%%@,serializable: %b@]"
+    r.n_txns Scheduler.pp_stats r.stats r.throughput r.deadlock_rate
+    r.mean_rollback_cost (100.0 *. r.wasted_fraction) r.serializable

@@ -1,0 +1,72 @@
+(** Closed-system simulation driver: keep a fixed multiprogramming level
+    (MPL) of concurrent transactions, admit the next program whenever one
+    commits, and reduce a finished run to the derived metrics the
+    experiments report. *)
+
+type config = {
+  scheduler : Prb_core.Scheduler.config;
+  mpl : int;  (** concurrent transactions held in the system *)
+}
+
+val default_config : config
+
+type result = {
+  stats : Prb_core.Scheduler.stats;
+  n_txns : int;
+  throughput : float;  (** commits per 1000 ticks *)
+  deadlock_rate : float;  (** deadlock resolutions per committed txn *)
+  mean_rollback_cost : float;
+      (** ops lost per rollback event; [nan] when no rollbacks *)
+  wasted_fraction : float;
+      (** (ops executed - net committed progress) / ops executed *)
+  serializable : bool;
+  peak_copies : int;
+  store_installs : int;
+}
+
+val run :
+  ?config:config ->
+  store:Prb_storage.Store.t ->
+  Prb_txn.Program.t list ->
+  result
+(** Run all programs to commit (or until the scheduler's tick limit).
+    Deterministic in the scheduler seed. *)
+
+val run_generated :
+  ?config:config ->
+  params:Prb_workload.Generator.params ->
+  seed:int ->
+  n_txns:int ->
+  unit ->
+  result
+(** Convenience: populate a store from [params], generate [n_txns]
+    programs and {!run} them. *)
+
+val pp_result : Format.formatter -> result -> unit
+
+(** Open-system runs: transactions arrive by a Poisson-like process
+    instead of being held at a fixed multiprogramming level — the
+    response-time view of the paper's introduction. *)
+module Open : sig
+  type open_result = {
+    closed : result;  (** the underlying run and its metrics *)
+    offered_rate : float;  (** requested arrivals per 1000 ticks *)
+    mean_latency : float;  (** submit-to-commit ticks, committed txns *)
+    p50_latency : float;
+    p95_latency : float;
+    max_latency : float;
+  }
+
+  val run :
+    ?scheduler:Prb_core.Scheduler.config ->
+    store:Prb_storage.Store.t ->
+    arrivals_per_ktick:float ->
+    arrival_seed:int ->
+    Prb_txn.Program.t list ->
+    open_result
+  (** Submit the programs with exponential(ish) inter-arrival times drawn
+      from [arrival_seed] at the given offered load, run to completion,
+      and report latency percentiles. Deterministic. *)
+
+  val pp : Format.formatter -> open_result -> unit
+end

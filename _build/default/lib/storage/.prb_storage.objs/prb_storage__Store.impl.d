@@ -1,0 +1,1 @@
+lib/storage/store.ml: Hashtbl List String Value

@@ -1,0 +1,1 @@
+lib/storage/value.ml: Char Fmt Int64 Stdlib String

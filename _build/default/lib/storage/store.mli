@@ -1,0 +1,67 @@
+(** The global database: a map from entity names to values.
+
+    Per the paper's Section 4 model, a transaction's writes land in
+    transaction-local copies; the *global value* of an entity "does not
+    change until the transaction unlocks it". Consequently only two
+    operations mutate the store: initial population and the final-value
+    install performed at unlock/commit time. Rollback never touches the
+    store — that invariant is what makes partial rollback cheap, and tests
+    assert it. *)
+
+type entity = string
+(** Entity names; the paper's a, b, c ... or generated ["e0042"]. *)
+
+type t
+
+val create : unit -> t
+
+val of_list : (entity * Value.t) list -> t
+
+val define : t -> entity -> Value.t -> unit
+(** Add (or reset) an entity. Used for schema population, not by
+    transactions. *)
+
+val mem : t -> entity -> bool
+
+val get : t -> entity -> Value.t
+(** Global value of an entity. @raise Not_found on undefined entities. *)
+
+val find_opt : t -> entity -> Value.t option
+
+val install : t -> entity -> Value.t -> unit
+(** Commit-time publication of a final local value (the unlock step of the
+    paper's model). @raise Not_found on undefined entities, because a
+    transaction can only unlock what it locked and it can only have locked
+    defined entities. *)
+
+val entities : t -> entity list
+(** Sorted. *)
+
+val size : t -> int
+
+val snapshot : t -> (entity * Value.t) list
+(** Sorted association list of the full state, for tests and consistency
+    checks. *)
+
+val equal_state : t -> t -> bool
+
+val install_count : t -> int
+(** Number of [install] calls since creation — the experiment harness uses
+    it to verify rollbacks never wrote the store. *)
+
+(** Consistency constraints (Section 2's "set of consistent states"). *)
+module Constraint : sig
+  type store = t
+  type t
+
+  val make : name:string -> (store -> bool) -> t
+  val name : t -> string
+  val holds : t -> store -> bool
+
+  val sum_preserved : name:string -> entity list -> expected:int -> t
+  (** The classic bank-balances invariant: the listed entities' integer
+      values sum to [expected]. *)
+
+  val all_hold : t list -> store -> (unit, string list) result
+  (** [Error names] lists the violated constraints. *)
+end

@@ -1,0 +1,1 @@
+lib/txn/expr.ml: Fmt List Prb_storage String

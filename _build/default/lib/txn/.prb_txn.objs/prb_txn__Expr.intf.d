@@ -1,0 +1,1 @@
+lib/txn/expr.mli: Format Prb_storage

@@ -1,0 +1,1 @@
+lib/txn/parser.ml: Buffer Expr Fmt List Prb_storage Printf Program String

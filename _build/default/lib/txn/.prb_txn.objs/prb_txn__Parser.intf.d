@@ -1,0 +1,1 @@
+lib/txn/parser.mli: Format Program

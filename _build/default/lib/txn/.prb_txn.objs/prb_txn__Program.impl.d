@@ -1,0 +1,1 @@
+lib/txn/program.ml: Array Expr Fmt Hashtbl List Lock_mode Prb_storage String

@@ -1,0 +1,1 @@
+lib/txn/program.mli: Expr Format Lock_mode Prb_storage

@@ -1,0 +1,66 @@
+module Value = Prb_storage.Value
+
+type var = string
+
+type t =
+  | Const of Value.t
+  | Var of var
+  | Add of t * t
+  | Sub of t * t
+  | Mul of t * t
+  | Neg of t
+  | Min of t * t
+  | Max of t * t
+  | Mix of t
+
+let rec eval env = function
+  | Const v -> v
+  | Var x -> env x
+  | Add (a, b) -> Value.add (eval env a) (eval env b)
+  | Sub (a, b) -> Value.sub (eval env a) (eval env b)
+  | Mul (a, b) -> Value.mul (eval env a) (eval env b)
+  | Neg a -> Value.neg (eval env a)
+  | Min (a, b) -> Value.min_v (eval env a) (eval env b)
+  | Max (a, b) -> Value.max_v (eval env a) (eval env b)
+  | Mix a -> Value.mix (eval env a)
+
+let vars t =
+  let rec collect acc = function
+    | Const _ -> acc
+    | Var x -> x :: acc
+    | Add (a, b) | Sub (a, b) | Mul (a, b) | Min (a, b) | Max (a, b) ->
+        collect (collect acc a) b
+    | Neg a | Mix a -> collect acc a
+  in
+  List.sort_uniq compare (collect [] t)
+
+let rec equal a b =
+  match (a, b) with
+  | Const x, Const y -> Value.equal x y
+  | Var x, Var y -> String.equal x y
+  | Add (a1, b1), Add (a2, b2)
+  | Sub (a1, b1), Sub (a2, b2)
+  | Mul (a1, b1), Mul (a2, b2)
+  | Min (a1, b1), Min (a2, b2)
+  | Max (a1, b1), Max (a2, b2) -> equal a1 a2 && equal b1 b2
+  | Neg x, Neg y | Mix x, Mix y -> equal x y
+  | ( ( Const _ | Var _ | Add _ | Sub _ | Mul _ | Neg _ | Min _ | Max _
+      | Mix _ ),
+      _ ) -> false
+
+let rec pp ppf = function
+  | Const v -> Value.pp ppf v
+  | Var x -> Fmt.string ppf x
+  | Add (a, b) -> Fmt.pf ppf "(%a + %a)" pp a pp b
+  | Sub (a, b) -> Fmt.pf ppf "(%a - %a)" pp a pp b
+  | Mul (a, b) -> Fmt.pf ppf "(%a * %a)" pp a pp b
+  | Neg a -> Fmt.pf ppf "(- %a)" pp a
+  | Min (a, b) -> Fmt.pf ppf "min(%a, %a)" pp a pp b
+  | Max (a, b) -> Fmt.pf ppf "max(%a, %a)" pp a pp b
+  | Mix a -> Fmt.pf ppf "mix(%a)" pp a
+
+let int n = Const (Value.int n)
+let var x = Var x
+let ( + ) a b = Add (a, b)
+let ( - ) a b = Sub (a, b)
+let ( * ) a b = Mul (a, b)

@@ -1,0 +1,39 @@
+(** First-order expressions over transaction-local variables.
+
+    Writes and local assignments compute their value through this little
+    language rather than opaque closures, which keeps transaction programs
+    *data*: printable, generatable by the workload layer, structurally
+    comparable, and — crucially for partial rollback — deterministically
+    re-executable after the program counter is reset. *)
+
+type var = string
+
+type t =
+  | Const of Prb_storage.Value.t
+  | Var of var  (** current value of a local variable *)
+  | Add of t * t
+  | Sub of t * t
+  | Mul of t * t
+  | Neg of t
+  | Min of t * t
+  | Max of t * t
+  | Mix of t  (** splitmix-style integer mixing, for synthetic updates *)
+
+val eval : (var -> Prb_storage.Value.t) -> t -> Prb_storage.Value.t
+(** Evaluate under an environment. @raise Not_found if the environment
+    lacks a variable (programs are validated against this upfront). *)
+
+val vars : t -> var list
+(** Free variables, sorted, deduplicated. *)
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit
+
+(* Constructors mirroring common workload idioms. *)
+
+val int : int -> t
+val var : var -> t
+val ( + ) : t -> t -> t
+val ( - ) : t -> t -> t
+val ( * ) : t -> t -> t

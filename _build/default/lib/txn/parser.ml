@@ -1,0 +1,319 @@
+module Value = Prb_storage.Value
+
+type error = { line : int; message : string }
+
+let pp_error ppf e = Fmt.pf ppf "line %d: %s" e.line e.message
+
+exception Fail of string
+
+(* --- Lexer ------------------------------------------------------------ *)
+
+type token =
+  | Ident of string
+  | Int of int
+  | Str of string
+  | Lparen
+  | Rparen
+  | Comma
+  | Plus
+  | Minus
+  | Star
+  | Assign (* := *)
+  | Eq
+
+let is_ident_char c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || (c >= '0' && c <= '9')
+  || c = '_'
+
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize line =
+  let n = String.length line in
+  let tokens = ref [] in
+  let emit t = tokens := t :: !tokens in
+  let i = ref 0 in
+  let read_int () =
+    let start = !i in
+    while !i < n && is_digit line.[!i] do
+      incr i
+    done;
+    int_of_string (String.sub line start (!i - start))
+  in
+  while !i < n do
+    let c = line.[!i] in
+    if c = ' ' || c = '\t' || c = '\r' then incr i
+    else if c = '#' then i := n (* comment to end of line *)
+    else if is_digit c then emit (Int (read_int ()))
+    else if c = '-' && !i + 1 < n && is_digit line.[!i + 1] then begin
+      incr i;
+      emit (Int (-read_int ()))
+    end
+    else if is_ident_char c then begin
+      let start = !i in
+      while !i < n && is_ident_char line.[!i] do
+        incr i
+      done;
+      emit (Ident (String.sub line start (!i - start)))
+    end
+    else if c = '"' then begin
+      (* OCaml-style quoted string as printed by %S *)
+      let buf = Buffer.create 16 in
+      incr i;
+      let closed = ref false in
+      while (not !closed) && !i < n do
+        (match line.[!i] with
+        | '"' -> closed := true
+        | '\\' when !i + 1 < n ->
+            incr i;
+            Buffer.add_char buf
+              (match line.[!i] with
+              | 'n' -> '\n'
+              | 't' -> '\t'
+              | '\\' -> '\\'
+              | '"' -> '"'
+              | other -> other)
+        | other -> Buffer.add_char buf other);
+        incr i
+      done;
+      if not !closed then raise (Fail "unterminated string literal");
+      emit (Str (Buffer.contents buf))
+    end
+    else begin
+      (match c with
+      | '(' -> emit Lparen
+      | ')' -> emit Rparen
+      | ',' -> emit Comma
+      | '+' -> emit Plus
+      | '*' -> emit Star
+      | '-' -> emit Minus
+      | ':' ->
+          if !i + 1 < n && line.[!i + 1] = '=' then begin
+            incr i;
+            emit Assign
+          end
+          else raise (Fail "expected ':=' ")
+      | '=' -> emit Eq
+      | other -> raise (Fail (Printf.sprintf "unexpected character %C" other)));
+      incr i
+    end
+  done;
+  List.rev !tokens
+
+(* --- Token-stream parser ---------------------------------------------- *)
+
+type stream = { mutable toks : token list }
+
+let peek s = match s.toks with [] -> None | t :: _ -> Some t
+
+let next s =
+  match s.toks with
+  | [] -> raise (Fail "unexpected end of line")
+  | t :: rest ->
+      s.toks <- rest;
+      t
+
+let expect s t what =
+  let got = next s in
+  if got <> t then raise (Fail (Printf.sprintf "expected %s" what))
+
+let ident s =
+  match next s with
+  | Ident x -> x
+  | _ -> raise (Fail "expected an identifier")
+
+let at_end s = s.toks = []
+
+let value_literal s =
+  match next s with
+  | Int n -> Value.int n
+  | Str str -> Value.text str
+  | Ident "true" -> Value.bool true
+  | Ident "false" -> Value.bool false
+  | _ -> raise (Fail "expected a value literal")
+
+let rec expr s =
+  match next s with
+  | Int n -> Expr.Const (Value.int n)
+  | Str str -> Expr.Const (Value.text str)
+  | Ident "true" -> Expr.Const (Value.bool true)
+  | Ident "false" -> Expr.Const (Value.bool false)
+  | Ident "min" -> binary_call s (fun a b -> Expr.Min (a, b))
+  | Ident "max" -> binary_call s (fun a b -> Expr.Max (a, b))
+  | Ident "mix" ->
+      expect s Lparen "'('";
+      let a = expr s in
+      expect s Rparen "')'";
+      Expr.Mix a
+  | Ident x -> Expr.Var x
+  | Lparen -> (
+      (* (- a) or (a op b) *)
+      match peek s with
+      | Some Minus ->
+          ignore (next s);
+          let a = expr s in
+          expect s Rparen "')'";
+          Expr.Neg a
+      | _ ->
+          let a = expr s in
+          let op =
+            match next s with
+            | Plus -> fun x y -> Expr.Add (x, y)
+            | Minus -> fun x y -> Expr.Sub (x, y)
+            | Star -> fun x y -> Expr.Mul (x, y)
+            | _ -> raise (Fail "expected an operator (+, -, *)")
+          in
+          let b = expr s in
+          expect s Rparen "')'";
+          op a b)
+  | _ -> raise (Fail "expected an expression")
+
+and binary_call s mk =
+  expect s Lparen "'('";
+  let a = expr s in
+  expect s Comma "','";
+  let b = expr s in
+  expect s Rparen "')'";
+  mk a b
+
+let entity_arg s =
+  expect s Lparen "'('";
+  let e = ident s in
+  expect s Rparen "')'";
+  e
+
+(* --- Statements -------------------------------------------------------- *)
+
+type statement =
+  | Header of string
+  | Local of string * Value.t
+  | Op of Program.op
+
+(* The printer's "NN:" position labels are stripped before lexing (see
+   [logical_lines]); here every line is a bare statement. *)
+let statement_of_line line =
+  let toks = tokenize line in
+  match toks with
+  | [] -> None
+  | Ident "transaction" :: Ident name :: [] -> Some (Header name)
+  | Ident "transaction" :: _ -> raise (Fail "expected: transaction NAME")
+  | Ident "local" :: _ ->
+      let s = { toks = List.tl toks } in
+      let name = ident s in
+      expect s Eq "'='";
+      let v = value_literal s in
+      if not (at_end s) then raise (Fail "trailing tokens after local");
+      Some (Local (name, v))
+  | Ident "lockX" :: _ ->
+      let s = { toks = List.tl toks } in
+      let e = entity_arg s in
+      if not (at_end s) then raise (Fail "trailing tokens");
+      Some (Op (Program.lock_x e))
+  | Ident "lockS" :: _ ->
+      let s = { toks = List.tl toks } in
+      let e = entity_arg s in
+      if not (at_end s) then raise (Fail "trailing tokens");
+      Some (Op (Program.lock_s e))
+  | Ident "unlock" :: _ ->
+      let s = { toks = List.tl toks } in
+      let e = entity_arg s in
+      if not (at_end s) then raise (Fail "trailing tokens");
+      Some (Op (Program.unlock e))
+  | Ident "write" :: _ ->
+      let s = { toks = List.tl toks } in
+      expect s Lparen "'('";
+      let e = ident s in
+      expect s Comma "','";
+      let x = expr s in
+      expect s Rparen "')'";
+      if not (at_end s) then raise (Fail "trailing tokens");
+      Some (Op (Program.write e x))
+  | Ident v :: Assign :: Ident "read" :: Lparen :: _ ->
+      let s = { toks = List.tl (List.tl (List.tl toks)) } in
+      (* s now starts at Lparen *)
+      expect s Lparen "'('";
+      let e = ident s in
+      expect s Rparen "')'";
+      if not (at_end s) then raise (Fail "trailing tokens");
+      Some (Op (Program.read e v))
+  | Ident v :: Assign :: _ ->
+      let s = { toks = List.tl (List.tl toks) } in
+      let x = expr s in
+      if not (at_end s) then raise (Fail "trailing tokens");
+      Some (Op (Program.assign v x))
+  | _ -> raise (Fail "unrecognised statement")
+
+(* Pre-process: drop blank/comment lines; strip the printer's "NN:"
+   position labels (digits followed by ':' not part of ':='). *)
+let logical_lines text =
+  String.split_on_char '\n' text
+  |> List.mapi (fun idx line -> (idx + 1, line))
+  |> List.filter_map (fun (no, raw) ->
+         let line = String.trim raw in
+         if line = "" || line.[0] = '#' then None
+         else
+           let line =
+             (* strip leading "NN:" label *)
+             let len = String.length line in
+             let rec digits i = if i < len && is_digit line.[i] then digits (i + 1) else i in
+             let d = digits 0 in
+             if d > 0 && d < len && line.[d] = ':' && not (d + 1 < len && line.[d + 1] = '=')
+             then String.trim (String.sub line (d + 1) (len - d - 1))
+             else line
+           in
+           Some (no, line))
+
+exception Fail_at of int * string
+
+let parse_statements text =
+  List.map
+    (fun (no, line) ->
+      match statement_of_line line with
+      | Some st -> (no, st)
+      | None -> assert false (* blank lines were filtered *)
+      | exception Fail message -> raise (Fail_at (no, message)))
+    (logical_lines text)
+
+let build_programs statements =
+  (* group by Header *)
+  let rec groups acc current = function
+    | [] -> List.rev (match current with None -> acc | Some c -> c :: acc)
+    | (no, Header name) :: rest ->
+        let acc = match current with None -> acc | Some c -> c :: acc in
+        groups acc (Some (no, name, [], [])) rest
+    | (no, Local (v, x)) :: rest -> (
+        match current with
+        | None -> raise (Fail_at (no, "'local' before 'transaction'"))
+        | Some (hno, name, locals, ops) ->
+            if ops <> [] then
+              raise (Fail_at (no, "locals must precede operations"));
+            groups acc (Some (hno, name, (v, x) :: locals, ops)) rest)
+    | (no, Op op) :: rest -> (
+        match current with
+        | None -> raise (Fail_at (no, "operation before 'transaction'"))
+        | Some (hno, name, locals, ops) ->
+            groups acc (Some (hno, name, locals, op :: ops)) rest)
+  in
+  let gs = groups [] None statements in
+  List.map
+    (fun (_, name, locals, ops) ->
+      Program.make ~name ~locals:(List.rev locals) (List.rev ops))
+    gs
+
+let run_parse text =
+  try Ok (build_programs (parse_statements text)) with
+  | Fail_at (line, message) -> Error { line; message }
+  | Fail message -> Error { line = 0; message }
+  | Invalid_argument message -> Error { line = 0; message }
+
+let parse_many text = run_parse text
+
+let parse text =
+  match run_parse text with
+  | Error e -> Error e
+  | Ok [ p ] -> Ok p
+  | Ok [] -> Error { line = 0; message = "no transaction found" }
+  | Ok _ -> Error { line = 0; message = "expected exactly one transaction" }
+
+let to_string p = Fmt.str "%a" Program.pp p

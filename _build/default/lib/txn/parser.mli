@@ -1,0 +1,49 @@
+(** A concrete text syntax for transaction programs.
+
+    The format is the one {!Program.pp} prints, so programs round-trip;
+    it lets the CLI and tests load transactions from files instead of
+    constructing them in OCaml:
+
+    {v
+    transaction transfer
+      local src_bal = 0
+      local dst_bal = 0
+      lockX(acct0)
+      src_bal := read(acct0)
+      write(acct0, (src_bal - 10))
+      lockS(acct1)
+      dst_bal := read(acct1)
+      unlock(acct0)
+      unlock(acct1)
+    v}
+
+    Statements, one per line (a leading "NN:" position label from the
+    printer is accepted and ignored; blank lines and [#]-comments too):
+
+    - [local NAME = VALUE] — declarations first; values are integers,
+      [true]/[false], or double-quoted strings
+    - [lockX(entity)] / [lockS(entity)] / [unlock(entity)]
+    - [VAR := read(entity)]
+    - [write(entity, EXPR)]
+    - [VAR := EXPR]
+
+    Expressions: integer literals, [true]/[false], quoted strings,
+    variables, [(a + b)], [(a - b)], [(a * b)], [(- a)], [min(a, b)],
+    [max(a, b)], [mix(a)]. Binary operators require parentheses — no
+    precedence climbing, by design (the printer always parenthesises). *)
+
+type error = { line : int; message : string }
+
+val pp_error : Format.formatter -> error -> unit
+
+val parse : string -> (Program.t, error) result
+(** Parse one program from a string. The parsed program is {e not}
+    validated against the locking discipline — callers compose with
+    {!Program.validate} so all errors can be reported together. *)
+
+val parse_many : string -> (Program.t list, error) result
+(** Parse a file of several [transaction] blocks. *)
+
+val to_string : Program.t -> string
+(** {!Program.pp} as a string; [parse] of the result succeeds with an
+    equal program (round-trip, qcheck-tested). *)

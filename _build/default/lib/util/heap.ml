@@ -1,0 +1,77 @@
+type 'a entry = { prio : int; seq : int; value : 'a }
+
+type 'a t = {
+  mutable data : 'a entry array;
+  mutable size : int;
+  mutable next_seq : int;
+}
+
+let create () = { data = [||]; size = 0; next_seq = 0 }
+
+let is_empty t = t.size = 0
+let size t = t.size
+
+let less a b = a.prio < b.prio || (a.prio = b.prio && a.seq < b.seq)
+
+let grow t entry =
+  let cap = Array.length t.data in
+  if t.size = cap then begin
+    let ncap = if cap = 0 then 16 else 2 * cap in
+    let ndata = Array.make ncap entry in
+    Array.blit t.data 0 ndata 0 t.size;
+    t.data <- ndata
+  end
+
+let push t ~priority value =
+  let entry = { prio = priority; seq = t.next_seq; value } in
+  t.next_seq <- t.next_seq + 1;
+  grow t entry;
+  t.data.(t.size) <- entry;
+  t.size <- t.size + 1;
+  (* Sift up. *)
+  let i = ref (t.size - 1) in
+  while
+    !i > 0
+    &&
+    let parent = (!i - 1) / 2 in
+    less t.data.(!i) t.data.(parent)
+  do
+    let parent = (!i - 1) / 2 in
+    let tmp = t.data.(!i) in
+    t.data.(!i) <- t.data.(parent);
+    t.data.(parent) <- tmp;
+    i := parent
+  done
+
+let pop t =
+  if t.size = 0 then None
+  else begin
+    let top = t.data.(0) in
+    t.size <- t.size - 1;
+    if t.size > 0 then begin
+      t.data.(0) <- t.data.(t.size);
+      (* Sift down. *)
+      let i = ref 0 in
+      let continue = ref true in
+      while !continue do
+        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+        let smallest = ref !i in
+        if l < t.size && less t.data.(l) t.data.(!smallest) then smallest := l;
+        if r < t.size && less t.data.(r) t.data.(!smallest) then smallest := r;
+        if !smallest = !i then continue := false
+        else begin
+          let tmp = t.data.(!i) in
+          t.data.(!i) <- t.data.(!smallest);
+          t.data.(!smallest) <- tmp;
+          i := !smallest
+        end
+      done
+    end;
+    Some (top.prio, top.value)
+  end
+
+let peek t = if t.size = 0 then None else Some (t.data.(0).prio, t.data.(0).value)
+
+let clear t =
+  t.size <- 0;
+  t.next_seq <- 0

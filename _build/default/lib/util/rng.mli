@@ -1,0 +1,50 @@
+(** Deterministic, splittable pseudo-random number generator.
+
+    The whole reproduction must be replayable from a single seed, so we do
+    not use [Stdlib.Random] (whose state is global and version-dependent).
+    This is SplitMix64 (Steele, Lea & Flood, OOPSLA 2014): a tiny,
+    well-tested generator whose [split] operation yields independent
+    streams, which lets every transaction, site and workload own a private
+    stream derived from the experiment seed. *)
+
+type t
+(** Mutable generator state. *)
+
+val make : int -> t
+(** [make seed] creates a generator from a 63-bit seed. Two generators made
+    from the same seed produce identical streams. *)
+
+val copy : t -> t
+(** [copy t] is an independent generator that continues [t]'s stream;
+    advancing one does not affect the other. *)
+
+val split : t -> t
+(** [split t] advances [t] and returns a fresh generator whose stream is
+    statistically independent of [t]'s subsequent output. *)
+
+val bits64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)]. @raise Invalid_argument if
+    [bound <= 0]. *)
+
+val int_in : t -> int -> int -> int
+(** [int_in t lo hi] is uniform in [\[lo, hi\]] inclusive.
+    @raise Invalid_argument if [hi < lo]. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [\[0, bound)]. *)
+
+val bool : t -> bool
+(** Fair coin. *)
+
+val chance : t -> float -> bool
+(** [chance t p] is true with probability [p] (clamped to [\[0,1\]]). *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)
+
+val pick : t -> 'a array -> 'a
+(** Uniform element of a non-empty array. @raise Invalid_argument on
+    an empty array. *)

@@ -1,0 +1,87 @@
+type align = Left | Right
+
+type row = Cells of string list | Separator
+
+type t = {
+  title : string option;
+  header : string list;
+  aligns : align list;
+  arity : int;
+  mutable rows : row list; (* reversed *)
+}
+
+let create ?title columns =
+  let header = List.map fst columns and aligns = List.map snd columns in
+  { title; header; aligns; arity = List.length columns; rows = [] }
+
+let add_row t cells =
+  if List.length cells <> t.arity then
+    invalid_arg "Table.add_row: arity mismatch";
+  t.rows <- Cells cells :: t.rows
+
+let add_separator t = t.rows <- Separator :: t.rows
+
+let pad align width s =
+  let n = String.length s in
+  if n >= width then s
+  else
+    let fill = String.make (width - n) ' ' in
+    match align with Left -> s ^ fill | Right -> fill ^ s
+
+let render t =
+  let rows = List.rev t.rows in
+  let widths = Array.of_list (List.map String.length t.header) in
+  let note_widths = function
+    | Separator -> ()
+    | Cells cells ->
+        List.iteri
+          (fun i c -> if String.length c > widths.(i) then widths.(i) <- String.length c)
+          cells
+  in
+  List.iter note_widths rows;
+  let buf = Buffer.create 1024 in
+  let rule () =
+    Buffer.add_char buf '+';
+    Array.iter
+      (fun w ->
+        Buffer.add_string buf (String.make (w + 2) '-');
+        Buffer.add_char buf '+')
+      widths;
+    Buffer.add_char buf '\n'
+  in
+  let line aligns cells =
+    Buffer.add_char buf '|';
+    List.iteri
+      (fun i c ->
+        Buffer.add_char buf ' ';
+        Buffer.add_string buf (pad (List.nth aligns i) widths.(i) c);
+        Buffer.add_string buf " |")
+      cells;
+    Buffer.add_char buf '\n'
+  in
+  (match t.title with
+  | Some title ->
+      Buffer.add_string buf title;
+      Buffer.add_char buf '\n'
+  | None -> ());
+  rule ();
+  line (List.map (fun _ -> Left) t.header) t.header;
+  rule ();
+  List.iter
+    (function Separator -> rule () | Cells cells -> line t.aligns cells)
+    rows;
+  rule ();
+  Buffer.contents buf
+
+let print t = print_string (render t); print_newline ()
+
+let cell_int = string_of_int
+
+let cell_float ?(decimals = 2) f =
+  if Float.is_nan f then "-" else Printf.sprintf "%.*f" decimals f
+
+let cell_pct f =
+  if Float.is_nan f then "-" else Printf.sprintf "%.1f%%" (100.0 *. f)
+
+let cell_ratio f =
+  if Float.is_nan f then "-" else Printf.sprintf "%.2fx" f

@@ -1,0 +1,35 @@
+(** Plain-text table rendering for the benchmark harness.
+
+    Every experiment in EXPERIMENTS.md prints its rows through this module
+    so the output format stays uniform and greppable. *)
+
+type align = Left | Right
+
+type t
+
+val create : ?title:string -> (string * align) list -> t
+(** [create ~title columns] starts a table with the given header cells and
+    per-column alignment. *)
+
+val add_row : t -> string list -> unit
+(** Append a row. @raise Invalid_argument if the arity does not match the
+    header. *)
+
+val add_separator : t -> unit
+(** Append a horizontal rule between row groups. *)
+
+val render : t -> string
+(** Render with box-drawing in ASCII ([+-|]); columns auto-sized. *)
+
+val print : t -> unit
+(** [render] to stdout followed by a newline. *)
+
+(* Cell formatting helpers used across benches. *)
+
+val cell_int : int -> string
+val cell_float : ?decimals:int -> float -> string
+val cell_pct : float -> string
+(** [cell_pct f] renders fraction [f] as a percentage with one decimal. *)
+
+val cell_ratio : float -> string
+(** Renders like ["3.42x"]. *)

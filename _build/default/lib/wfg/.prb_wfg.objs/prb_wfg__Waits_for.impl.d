@@ -1,0 +1,1 @@
+lib/wfg/waits_for.ml: Buffer Fmt Hashtbl List Prb_graph Prb_storage Printf

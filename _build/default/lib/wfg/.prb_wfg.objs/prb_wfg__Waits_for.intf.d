@@ -1,0 +1,1 @@
+lib/wfg/waits_for.mli: Format Prb_storage

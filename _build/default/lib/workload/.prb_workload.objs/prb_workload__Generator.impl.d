@@ -1,0 +1,1 @@
+lib/workload/generator.ml: Fmt Hashtbl List Prb_storage Prb_txn Prb_util Printf

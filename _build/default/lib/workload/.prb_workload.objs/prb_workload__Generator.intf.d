@@ -1,0 +1,1 @@
+lib/workload/generator.mli: Prb_storage Prb_txn Prb_util

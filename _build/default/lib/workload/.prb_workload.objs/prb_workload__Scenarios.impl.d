@@ -1,0 +1,1 @@
+lib/workload/scenarios.ml: List Prb_storage Prb_txn Printf

@@ -1,0 +1,1 @@
+lib/workload/scenarios.mli: Prb_storage Prb_txn

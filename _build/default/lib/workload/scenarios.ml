@@ -1,0 +1,157 @@
+module Value = Prb_storage.Value
+module Store = Prb_storage.Store
+module Program = Prb_txn.Program
+module Expr = Prb_txn.Expr
+
+let account_name i = Printf.sprintf "acct%03d" i
+
+let bank_store ~n_accounts ~balance =
+  let store = Store.create () in
+  for i = 0 to n_accounts - 1 do
+    Store.define store (account_name i) (Value.int balance)
+  done;
+  store
+
+let transfer ~name ~from_acct ~to_acct ~amount =
+  let src = account_name from_acct and dst = account_name to_acct in
+  Program.make ~name
+    ~locals:[ ("src_bal", Value.int 0); ("dst_bal", Value.int 0) ]
+    [
+      Program.lock_x src;
+      Program.read src "src_bal";
+      Program.write src Expr.(var "src_bal" - int amount);
+      Program.lock_x dst;
+      Program.read dst "dst_bal";
+      Program.write dst Expr.(var "dst_bal" + int amount);
+      Program.unlock src;
+      Program.unlock dst;
+    ]
+
+let audit ~name ~accounts =
+  let locals = [ ("sum", Value.int 0); ("tmp", Value.int 0) ] in
+  let ops =
+    List.concat_map
+      (fun i ->
+        [
+          Program.lock_s (account_name i);
+          Program.read (account_name i) "tmp";
+          Program.assign "sum" Expr.(var "sum" + var "tmp");
+        ])
+      accounts
+    @ List.map (fun i -> Program.unlock (account_name i)) accounts
+  in
+  Program.make ~name ~locals ops
+
+let balance_invariant ~n_accounts ~balance =
+  Store.Constraint.sum_preserved ~name:"bank total"
+    (List.init n_accounts account_name)
+    ~expected:(n_accounts * balance)
+
+let item_name i = Printf.sprintf "item%03d" i
+
+let inventory_store ~n_items ~stock =
+  let store = Store.create () in
+  for i = 0 to n_items - 1 do
+    Store.define store (item_name i) (Value.int stock)
+  done;
+  store
+
+let order ~name ~items =
+  let locals = [ ("stock", Value.int 0) ] in
+  let ops =
+    List.concat_map
+      (fun (item, qty) ->
+        [
+          Program.lock_x (item_name item);
+          Program.read (item_name item) "stock";
+          Program.write (item_name item)
+            Expr.(Max (var "stock" - int qty, int 0));
+        ])
+      items
+    @ List.map (fun (item, _) -> Program.unlock (item_name item)) items
+  in
+  Program.make ~name ~locals ops
+
+let restock ~name ~item ~quantity =
+  Program.make ~name
+    ~locals:[ ("stock", Value.int 0) ]
+    [
+      Program.lock_x (item_name item);
+      Program.read (item_name item) "stock";
+      Program.write (item_name item) Expr.(var "stock" + int quantity);
+      Program.unlock (item_name item);
+    ]
+
+(* --- order entry ------------------------------------------------------ *)
+
+let warehouse_ytd w = Printf.sprintf "w%02d_ytd" w
+let district_counter ~warehouse ~district =
+  Printf.sprintf "w%02d_d%02d_next" warehouse district
+let stock_entry ~warehouse ~item = Printf.sprintf "w%02d_s%03d" warehouse item
+
+let order_entry_store ~n_warehouses ~districts_per_warehouse
+    ~items_per_warehouse ~stock =
+  let store = Store.create () in
+  for w = 0 to n_warehouses - 1 do
+    Store.define store (warehouse_ytd w) (Value.int 0);
+    for d = 0 to districts_per_warehouse - 1 do
+      Store.define store
+        (district_counter ~warehouse:w ~district:d)
+        (Value.int 1)
+    done;
+    for i = 0 to items_per_warehouse - 1 do
+      Store.define store (stock_entry ~warehouse:w ~item:i) (Value.int stock)
+    done
+  done;
+  store
+
+let new_order ~name ~warehouse ~district ~lines =
+  let counter = district_counter ~warehouse ~district in
+  let locals =
+    [ ("order_id", Value.int 0); ("stock", Value.int 0); ("ytd", Value.int 0) ]
+  in
+  let total_qty = List.fold_left (fun acc (_, q) -> acc + q) 0 lines in
+  let ops =
+    [
+      (* the hot district counter: take the order id *)
+      Program.lock_x counter;
+      Program.read counter "order_id";
+      Program.write counter Expr.(var "order_id" + int 1);
+    ]
+    @ List.concat_map
+        (fun (item, qty) ->
+          let s = stock_entry ~warehouse ~item in
+          [
+            Program.lock_x s;
+            Program.read s "stock";
+            Program.write s Expr.(Max (var "stock" - int qty, int 0));
+          ])
+        lines
+    @ [
+        (* the warehouse-wide total, locked last and held briefly *)
+        Program.lock_x (warehouse_ytd warehouse);
+        Program.read (warehouse_ytd warehouse) "ytd";
+        Program.write (warehouse_ytd warehouse)
+          Expr.(var "ytd" + int total_qty);
+        Program.unlock (warehouse_ytd warehouse);
+        Program.unlock counter;
+      ]
+    @ List.map (fun (item, _) -> Program.unlock (stock_entry ~warehouse ~item)) lines
+  in
+  Program.make ~name ~locals ops
+
+let stock_level ~name ~warehouse ~items =
+  let locals = [ ("low", Value.int 0); ("stock", Value.int 0) ] in
+  let ops =
+    List.concat_map
+      (fun item ->
+        let s = stock_entry ~warehouse ~item in
+        [
+          Program.lock_s s;
+          Program.read s "stock";
+          Program.assign "low" Expr.(Min (var "low", var "stock"));
+        ])
+      items
+    @ List.map (fun item -> Program.unlock (stock_entry ~warehouse ~item)) items
+  in
+  Program.make ~name ~locals ops

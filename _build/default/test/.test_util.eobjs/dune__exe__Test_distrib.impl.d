@@ -1,0 +1,1 @@
+test/test_distrib.ml: Alcotest List Prb_distrib Prb_history Prb_rollback Prb_storage Prb_txn Prb_workload QCheck QCheck_alcotest

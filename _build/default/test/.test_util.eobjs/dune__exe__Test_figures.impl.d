@@ -1,0 +1,1 @@
+test/test_figures.ml: Alcotest Fun List Prb_core Prb_graph Prb_lock Prb_rollback Prb_sim Prb_storage Prb_txn Prb_util Prb_wfg Prb_workload

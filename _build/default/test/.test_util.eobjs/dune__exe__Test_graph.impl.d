@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Gen List Prb_graph QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_history.ml: Alcotest List Prb_graph Prb_history Prb_txn

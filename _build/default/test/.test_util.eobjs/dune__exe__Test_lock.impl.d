@@ -1,0 +1,1 @@
+test/test_lock.ml: Alcotest List Prb_lock Prb_txn Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_resolver.ml: Alcotest Fun List Prb_core Prb_util Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_rollback.ml: Alcotest Fun List Prb_rollback Prb_storage Prb_txn Prb_util Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_scheduler.ml: Alcotest List Prb_core Prb_history Prb_rollback Prb_storage Prb_txn Prb_util Prb_workload Printf QCheck QCheck_alcotest

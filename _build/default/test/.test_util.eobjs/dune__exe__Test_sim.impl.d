@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest List Prb_core Prb_rollback Prb_sim Prb_storage Prb_workload Printf

@@ -1,0 +1,1 @@
+test/test_storage.ml: Alcotest List Prb_storage QCheck QCheck_alcotest

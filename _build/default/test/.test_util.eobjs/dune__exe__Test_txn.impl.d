@@ -1,0 +1,1 @@
+test/test_txn.ml: Alcotest Array Fmt Hashtbl List Option Prb_storage Prb_txn Prb_workload QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_wfg.ml: Alcotest Fmt Hashtbl List Prb_wfg QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array List Prb_core Prb_rollback Prb_storage Prb_txn Prb_workload String

@@ -1,0 +1,345 @@
+(* Tests for Prb_graph: digraph algorithms, articulation points, cut
+   sets — including qcheck properties against brute-force oracles. *)
+
+module Digraph = Prb_graph.Digraph
+module Ugraph = Prb_graph.Ugraph
+module Cutset = Prb_graph.Cutset
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+let checkil = Alcotest.(check (list int))
+
+(* --- Digraph basics --- *)
+
+let test_digraph_edges () =
+  let g = Digraph.create () in
+  Digraph.add_edge g 1 2;
+  Digraph.add_edge g 1 3;
+  Digraph.add_edge g 2 3;
+  checkb "mem" true (Digraph.mem_edge g 1 2);
+  checkb "not mem reversed" false (Digraph.mem_edge g 2 1);
+  checkil "succ" [ 2; 3 ] (Digraph.succ g 1);
+  checkil "pred" [ 1; 2 ] (Digraph.pred g 3);
+  checki "n_edges" 3 (Digraph.n_edges g);
+  Digraph.remove_edge g 1 2;
+  checkb "removed" false (Digraph.mem_edge g 1 2);
+  checki "n_edges after remove" 2 (Digraph.n_edges g)
+
+let test_digraph_remove_vertex () =
+  let g = Digraph.create () in
+  Digraph.add_edge g 1 2;
+  Digraph.add_edge g 2 3;
+  Digraph.add_edge g 3 1;
+  Digraph.remove_vertex g 2;
+  checkb "vertex gone" false (Digraph.mem_vertex g 2);
+  checkil "succ 1 empty" [] (Digraph.succ g 1);
+  checkil "pred 3 empty" [] (Digraph.pred g 3);
+  checkb "no cycle left" false (Digraph.has_cycle g)
+
+let test_digraph_idempotent_ops () =
+  let g = Digraph.create () in
+  Digraph.add_edge g 1 2;
+  Digraph.add_edge g 1 2;
+  checki "simple graph" 1 (Digraph.n_edges g);
+  Digraph.add_vertex g 1;
+  checki "vertices stable" 2 (Digraph.n_vertices g);
+  Digraph.remove_edge g 1 2;
+  Digraph.remove_edge g 1 2;
+  checki "remove idempotent" 0 (Digraph.n_edges g)
+
+let test_digraph_copy_isolated () =
+  let g = Digraph.create () in
+  Digraph.add_edge g 1 2;
+  let h = Digraph.copy g in
+  Digraph.add_edge h 2 1;
+  checkb "copy has new edge" true (Digraph.mem_edge h 2 1);
+  checkb "original untouched" false (Digraph.mem_edge g 2 1)
+
+(* --- Cycles and reachability --- *)
+
+let test_cycle_detection () =
+  let g = Digraph.create () in
+  Digraph.add_edge g 1 2;
+  Digraph.add_edge g 2 3;
+  checkb "acyclic" false (Digraph.has_cycle g);
+  Digraph.add_edge g 3 1;
+  checkb "cyclic" true (Digraph.has_cycle g)
+
+let test_self_loop_cycle () =
+  let g = Digraph.create () in
+  Digraph.add_edge g 5 5;
+  checkb "self-loop is a cycle" true (Digraph.has_cycle g);
+  checkb "cycle through 5" true (Digraph.cycle_through g 5 = Some [ 5 ])
+
+let test_find_cycle_valid () =
+  let g = Digraph.create () in
+  List.iter (fun (u, v) -> Digraph.add_edge g u v)
+    [ (1, 2); (2, 3); (3, 4); (4, 2); (1, 5) ];
+  match Digraph.find_cycle g with
+  | None -> Alcotest.fail "cycle expected"
+  | Some cycle ->
+      (* Every consecutive pair (and the wrap) must be an edge. *)
+      let n = List.length cycle in
+      checkb "non-empty" true (n > 0);
+      List.iteri
+        (fun i u ->
+          let v = List.nth cycle ((i + 1) mod n) in
+          checkb "cycle edge exists" true (Digraph.mem_edge g u v))
+        cycle
+
+let test_path_exists () =
+  let g = Digraph.create () in
+  List.iter (fun (u, v) -> Digraph.add_edge g u v) [ (1, 2); (2, 3); (4, 1) ];
+  checkb "path 4->3" true (Digraph.path_exists g 4 3);
+  checkb "no path 3->4" false (Digraph.path_exists g 3 4);
+  checkb "no empty path" false (Digraph.path_exists g 1 1)
+
+let test_cycles_through () =
+  let g = Digraph.create () in
+  (* two cycles through 1: 1-2-1 and 1-3-4-1; one cycle avoiding 1: 5-6-5 *)
+  List.iter (fun (u, v) -> Digraph.add_edge g u v)
+    [ (1, 2); (2, 1); (1, 3); (3, 4); (4, 1); (5, 6); (6, 5) ];
+  let cycles = Digraph.cycles_through g 1 in
+  checki "two cycles through 1" 2 (List.length cycles);
+  List.iter (fun c -> checkb "starts at 1" true (List.hd c = 1)) cycles;
+  checki "one cycle through 5" 1 (List.length (Digraph.cycles_through g 5))
+
+let test_cycles_through_limit () =
+  let g = Digraph.create () in
+  (* complete digraph on 7 vertices: lots of cycles *)
+  for u = 0 to 6 do
+    for v = 0 to 6 do
+      if u <> v then Digraph.add_edge g u v
+    done
+  done;
+  let cycles = Digraph.cycles_through ~limit:5 g 0 in
+  checki "respects limit" 5 (List.length cycles)
+
+let test_cycles_through_budget () =
+  let g = Digraph.create () in
+  (* dense DAG: exponentially many paths, zero cycles *)
+  for u = 0 to 15 do
+    for v = u + 1 to 15 do
+      Digraph.add_edge g u v
+    done
+  done;
+  let cycles = Digraph.cycles_through ~limit:10 ~budget:10_000 g 0 in
+  checki "no cycles, terminates fast" 0 (List.length cycles)
+
+let test_forest_shape () =
+  let g = Digraph.create () in
+  List.iter (fun (u, v) -> Digraph.add_edge g u v) [ (1, 2); (3, 2); (4, 3) ];
+  checkb "inverted forest" true (Digraph.is_forest_inverted g);
+  Digraph.add_edge g 2 5;
+  checkb "still forest" true (Digraph.is_forest_inverted g);
+  Digraph.add_edge g 2 6;
+  checkb "out-degree 2 breaks it" false (Digraph.is_forest_inverted g)
+
+let test_scc () =
+  let g = Digraph.create () in
+  List.iter (fun (u, v) -> Digraph.add_edge g u v)
+    [ (1, 2); (2, 3); (3, 1); (3, 4); (4, 5); (5, 4) ];
+  let comps = Digraph.scc g in
+  let sorted = List.sort compare comps in
+  checkb "components" true (sorted = [ [ 1; 2; 3 ]; [ 4; 5 ] ])
+
+let test_topological_sort () =
+  let g = Digraph.create () in
+  List.iter (fun (u, v) -> Digraph.add_edge g u v) [ (1, 2); (1, 3); (3, 4); (2, 4) ];
+  (match Digraph.topological_sort g with
+  | None -> Alcotest.fail "expected topo order"
+  | Some order ->
+      let pos v =
+        let rec idx i = function
+          | [] -> assert false
+          | x :: rest -> if x = v then i else idx (i + 1) rest
+        in
+        idx 0 order
+      in
+      List.iter
+        (fun (u, v) -> checkb "edge respects order" true (pos u < pos v))
+        (Digraph.edges g));
+  Digraph.add_edge g 4 1;
+  checkb "cyclic has none" true (Digraph.topological_sort g = None)
+
+(* qcheck: has_cycle agrees with SCC-based oracle *)
+let arbitrary_edges =
+  QCheck.(list (pair (int_bound 7) (int_bound 7)))
+
+let qcheck_cycle_vs_scc =
+  QCheck.Test.make ~name:"has_cycle agrees with scc oracle" ~count:500
+    arbitrary_edges (fun edges ->
+      let g = Digraph.create () in
+      List.iter (fun (u, v) -> Digraph.add_edge g u v) edges;
+      let self_loop = List.exists (fun (u, v) -> u = v) (Digraph.edges g) in
+      let oracle =
+        self_loop
+        || List.exists (fun c -> List.length c > 1) (Digraph.scc g)
+      in
+      Digraph.has_cycle g = oracle)
+
+let qcheck_topo_iff_acyclic =
+  QCheck.Test.make ~name:"topological_sort succeeds iff acyclic" ~count:500
+    arbitrary_edges (fun edges ->
+      let g = Digraph.create () in
+      List.iter (fun (u, v) -> Digraph.add_edge g u v) edges;
+      (Digraph.topological_sort g <> None) = not (Digraph.has_cycle g))
+
+(* --- Ugraph --- *)
+
+let test_ugraph_basics () =
+  let g = Ugraph.create () in
+  Ugraph.add_edge g 1 2;
+  checkb "symmetric" true (Ugraph.mem_edge g 2 1);
+  checkil "neighbours" [ 2 ] (Ugraph.neighbours g 1);
+  Ugraph.remove_edge g 2 1;
+  checkb "removed both ways" false (Ugraph.mem_edge g 1 2)
+
+let test_ugraph_components () =
+  let g = Ugraph.create () in
+  Ugraph.add_edge g 1 2;
+  Ugraph.add_edge g 3 4;
+  Ugraph.add_vertex g 9;
+  checkb "three components" true
+    (Ugraph.connected_components g = [ [ 1; 2 ]; [ 3; 4 ]; [ 9 ] ]);
+  checkb "not connected" false (Ugraph.is_connected g)
+
+let test_articulation_chain () =
+  let g = Ugraph.create () in
+  for i = 0 to 4 do
+    Ugraph.add_edge g i (i + 1)
+  done;
+  checkil "interior vertices are cut" [ 1; 2; 3; 4 ] (Ugraph.articulation_points g)
+
+let test_articulation_cycle () =
+  let g = Ugraph.create () in
+  List.iter (fun (u, v) -> Ugraph.add_edge g u v) [ (0, 1); (1, 2); (2, 0) ];
+  checkil "cycle has no cut vertex" [] (Ugraph.articulation_points g)
+
+let test_articulation_bridge_of_cycles () =
+  let g = Ugraph.create () in
+  (* two triangles joined at vertex 2 *)
+  List.iter (fun (u, v) -> Ugraph.add_edge g u v)
+    [ (0, 1); (1, 2); (2, 0); (2, 3); (3, 4); (4, 2) ];
+  checkil "shared vertex is cut" [ 2 ] (Ugraph.articulation_points g)
+
+(* qcheck: articulation points vs brute force removal oracle *)
+let qcheck_articulation_oracle =
+  QCheck.Test.make ~name:"articulation points match removal oracle" ~count:300
+    QCheck.(list (pair (int_bound 6) (int_bound 6)))
+    (fun edges ->
+      let g = Ugraph.create () in
+      List.iter (fun (u, v) -> Ugraph.add_edge g u v) edges;
+      let n_components h = List.length (Ugraph.connected_components h) in
+      let oracle v =
+        (* v is a cut vertex iff its removal strictly increases the
+           number of components (isolated vertices decrease it, leaves
+           keep it constant). *)
+        let h = Ugraph.copy g in
+        Ugraph.remove_vertex h v;
+        n_components h > n_components g
+      in
+      let expected = List.filter oracle (Ugraph.vertices g) in
+      Ugraph.articulation_points g = expected)
+
+(* --- Cutset --- *)
+
+let test_cutset_empty () =
+  let inst = { Cutset.cycles = []; cost = (fun _ -> 1.0) } in
+  checkb "empty instance" true (Cutset.exact inst = Some []);
+  checkb "greedy empty" true (Cutset.greedy inst = [])
+
+let test_cutset_single_cycle () =
+  let inst =
+    { Cutset.cycles = [ [ 1; 2; 3 ] ]; cost = (fun v -> float_of_int v) }
+  in
+  checkb "picks cheapest" true (Cutset.exact inst = Some [ 1 ])
+
+let test_cutset_shared_vertex () =
+  (* all cycles share vertex 1 which is cheap: cut = {1} *)
+  let inst =
+    {
+      Cutset.cycles = [ [ 1; 2 ]; [ 1; 3 ]; [ 1; 4 ] ];
+      cost = (fun v -> if v = 1 then 1.5 else 1.0);
+    }
+  in
+  checkb "shared vertex wins" true (Cutset.exact inst = Some [ 1 ])
+
+let test_cutset_prefers_split () =
+  (* shared vertex too expensive: cut = the two others *)
+  let inst =
+    {
+      Cutset.cycles = [ [ 1; 2 ]; [ 1; 3 ] ];
+      cost = (fun v -> if v = 1 then 5.0 else 1.0);
+    }
+  in
+  checkb "split cut" true (Cutset.exact inst = Some [ 2; 3 ])
+
+let test_cutset_greedy_is_cut () =
+  let inst =
+    {
+      Cutset.cycles = [ [ 1; 2; 3 ]; [ 3; 4 ]; [ 5; 1 ]; [ 2; 4; 5 ] ];
+      cost = (fun v -> 1.0 +. (float_of_int v /. 10.0));
+    }
+  in
+  checkb "greedy produces a cut" true (Cutset.is_cut inst (Cutset.greedy inst))
+
+let qcheck_exact_beats_greedy =
+  QCheck.Test.make ~name:"exact cut is a cut and costs <= greedy" ~count:200
+    QCheck.(list_of_size (Gen.int_range 1 5) (list_of_size (Gen.int_range 1 4) (int_bound 6)))
+    (fun cycles ->
+      let inst =
+        { Cutset.cycles; cost = (fun v -> 1.0 +. float_of_int (v mod 3)) }
+      in
+      match Cutset.exact inst with
+      | None -> QCheck.assume_fail ()
+      | Some cut ->
+          Cutset.is_cut inst cut
+          && Cutset.total_cost inst cut
+             <= Cutset.total_cost inst (Cutset.greedy inst) +. 1e-9)
+
+let () =
+  Alcotest.run "prb_graph"
+    [
+      ( "digraph",
+        [
+          Alcotest.test_case "edges" `Quick test_digraph_edges;
+          Alcotest.test_case "remove vertex" `Quick test_digraph_remove_vertex;
+          Alcotest.test_case "idempotent" `Quick test_digraph_idempotent_ops;
+          Alcotest.test_case "copy isolation" `Quick test_digraph_copy_isolated;
+        ] );
+      ( "cycles",
+        [
+          Alcotest.test_case "detection" `Quick test_cycle_detection;
+          Alcotest.test_case "self loop" `Quick test_self_loop_cycle;
+          Alcotest.test_case "find_cycle valid" `Quick test_find_cycle_valid;
+          Alcotest.test_case "path_exists" `Quick test_path_exists;
+          Alcotest.test_case "cycles through vertex" `Quick test_cycles_through;
+          Alcotest.test_case "cycle limit" `Quick test_cycles_through_limit;
+          Alcotest.test_case "exploration budget" `Quick test_cycles_through_budget;
+          Alcotest.test_case "forest shape" `Quick test_forest_shape;
+          Alcotest.test_case "scc" `Quick test_scc;
+          Alcotest.test_case "topological sort" `Quick test_topological_sort;
+          QCheck_alcotest.to_alcotest qcheck_cycle_vs_scc;
+          QCheck_alcotest.to_alcotest qcheck_topo_iff_acyclic;
+        ] );
+      ( "ugraph",
+        [
+          Alcotest.test_case "basics" `Quick test_ugraph_basics;
+          Alcotest.test_case "components" `Quick test_ugraph_components;
+          Alcotest.test_case "articulation: chain" `Quick test_articulation_chain;
+          Alcotest.test_case "articulation: cycle" `Quick test_articulation_cycle;
+          Alcotest.test_case "articulation: joined triangles" `Quick
+            test_articulation_bridge_of_cycles;
+          QCheck_alcotest.to_alcotest qcheck_articulation_oracle;
+        ] );
+      ( "cutset",
+        [
+          Alcotest.test_case "empty" `Quick test_cutset_empty;
+          Alcotest.test_case "single cycle" `Quick test_cutset_single_cycle;
+          Alcotest.test_case "shared vertex" `Quick test_cutset_shared_vertex;
+          Alcotest.test_case "prefers split" `Quick test_cutset_prefers_split;
+          Alcotest.test_case "greedy is cut" `Quick test_cutset_greedy_is_cut;
+          QCheck_alcotest.to_alcotest qcheck_exact_beats_greedy;
+        ] );
+    ]

@@ -1,0 +1,130 @@
+(* Tests for Prb_history: the conflict-serializability oracle. *)
+
+module History = Prb_history.History
+module Lock_mode = Prb_txn.Lock_mode
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+let s = Lock_mode.Shared
+let x = Lock_mode.Exclusive
+
+let test_serial_history () =
+  let h = History.create () in
+  History.note_grant h ~tick:0 1 "a" x;
+  History.note_release h ~tick:5 1 "a";
+  History.commit_txn h 1;
+  History.note_grant h ~tick:6 2 "a" x;
+  History.note_release h ~tick:9 2 "a";
+  History.commit_txn h 2;
+  checkb "serializable" true (History.serializable h);
+  checkb "order 1 then 2" true
+    (History.equivalent_serial_order h = Some [ 1; 2 ])
+
+let test_shared_reads_commute () =
+  let h = History.create () in
+  History.note_grant h ~tick:0 1 "a" s;
+  History.note_grant h ~tick:1 2 "a" s;
+  History.note_release h ~tick:5 1 "a";
+  History.note_release h ~tick:6 2 "a";
+  History.commit_txn h 1;
+  History.commit_txn h 2;
+  checkb "S/S overlap fine" true (History.serializable h);
+  checkb "no precedence edge" true
+    (Prb_graph.Digraph.n_edges (History.precedence_graph h) = 0)
+
+let test_overlapping_conflict_detected () =
+  let h = History.create () in
+  History.note_grant h ~tick:0 1 "a" x;
+  History.note_grant h ~tick:2 2 "a" x (* impossible under a correct lock
+                                          manager — the oracle must flag it *);
+  History.note_release h ~tick:5 1 "a";
+  History.note_release h ~tick:6 2 "a";
+  History.commit_txn h 1;
+  History.commit_txn h 2;
+  checki "one overlap" 1 (List.length (History.overlapping_conflicts h));
+  checkb "not serializable" false (History.serializable h)
+
+let test_cyclic_precedence () =
+  let h = History.create () in
+  (* T1 before T2 on a; T2 before T1 on b: classic non-serializable. *)
+  History.note_grant h ~tick:0 1 "a" x;
+  History.note_release h ~tick:1 1 "a";
+  History.note_grant h ~tick:2 2 "a" x;
+  History.note_release h ~tick:3 2 "a";
+  History.note_grant h ~tick:2 2 "b" x;
+  History.note_release h ~tick:3 2 "b";
+  History.note_grant h ~tick:4 1 "b" x;
+  History.note_release h ~tick:5 1 "b";
+  History.commit_txn h 1;
+  History.commit_txn h 2;
+  checkb "cycle -> not serializable" false (History.serializable h);
+  checkb "no serial order" true (History.equivalent_serial_order h = None)
+
+let test_discard_erases () =
+  let h = History.create () in
+  History.note_grant h ~tick:0 1 "a" x;
+  History.discard h 1 "a" (* partial rollback released it *);
+  History.note_release h ~tick:9 1 "a" (* release after discard: no-op *);
+  History.commit_txn h 1;
+  checkb "no trace" true (History.committed h = [])
+
+let test_discard_txn () =
+  let h = History.create () in
+  History.note_grant h ~tick:0 1 "a" x;
+  History.note_release h ~tick:1 1 "a";
+  History.note_grant h ~tick:2 1 "b" x;
+  History.discard_txn h 1;
+  History.commit_txn h 1;
+  checkb "everything gone" true (History.committed h = [])
+
+let test_commit_with_open_interval_rejected () =
+  let h = History.create () in
+  History.note_grant h ~tick:0 1 "a" x;
+  Alcotest.check_raises "open interval"
+    (Invalid_argument "History.commit_txn: transaction still holds a lock")
+    (fun () -> History.commit_txn h 1)
+
+let test_uncommitted_excluded () =
+  let h = History.create () in
+  History.note_grant h ~tick:0 1 "a" x;
+  History.note_release h ~tick:1 1 "a";
+  (* never committed *)
+  checkb "nothing committed" true (History.committed h = []);
+  checkb "vacuously serializable" true (History.serializable h)
+
+let test_relock_after_rollback () =
+  let h = History.create () in
+  (* grant, discard (rollback), re-grant later: only the second interval
+     survives *)
+  History.note_grant h ~tick:0 1 "a" x;
+  History.discard h 1 "a";
+  History.note_grant h ~tick:10 1 "a" x;
+  History.note_release h ~tick:12 1 "a";
+  History.commit_txn h 1;
+  (match History.committed h with
+  | [ i ] ->
+      checki "second grant tick" 10 i.History.granted_at;
+      checki "release tick" 12 i.History.released_at
+  | _ -> Alcotest.fail "expected exactly one interval")
+
+let () =
+  Alcotest.run "prb_history"
+    [
+      ( "serializability",
+        [
+          Alcotest.test_case "serial history" `Quick test_serial_history;
+          Alcotest.test_case "shared reads commute" `Quick test_shared_reads_commute;
+          Alcotest.test_case "overlap detection" `Quick test_overlapping_conflict_detected;
+          Alcotest.test_case "cyclic precedence" `Quick test_cyclic_precedence;
+        ] );
+      ( "rollback bookkeeping",
+        [
+          Alcotest.test_case "discard erases" `Quick test_discard_erases;
+          Alcotest.test_case "discard txn" `Quick test_discard_txn;
+          Alcotest.test_case "open interval rejected" `Quick
+            test_commit_with_open_interval_rejected;
+          Alcotest.test_case "uncommitted excluded" `Quick test_uncommitted_excluded;
+          Alcotest.test_case "relock after rollback" `Quick test_relock_after_rollback;
+        ] );
+    ]

@@ -1,0 +1,156 @@
+(* Tests for Prb_core.Resolver and Policy: victim selection over cycle
+   sets, including the Figure 1 configuration. *)
+
+module Resolver = Prb_core.Resolver
+module Policy = Prb_core.Policy
+module Rng = Prb_util.Rng
+
+let checkb = Alcotest.(check bool)
+
+let choose ?(policy = Policy.Min_cost) ?(requester = 1)
+    ?(entry = fun v -> v) ?(cost = fun _ es -> List.length es) cycles =
+  Resolver.choose ~policy ~requester ~entry_order:entry ~release_cost:cost
+    ~rng:(Rng.make 1) cycles
+
+let victims d = List.map fst d.Resolver.victims
+
+let test_policy_string_roundtrip () =
+  List.iter
+    (fun p ->
+      checkb "round-trip" true (Policy.of_string (Policy.to_string p) = Some p))
+    Policy.all;
+  checkb "garbage" true (Policy.of_string "nope" = None)
+
+(* Figure 1: cycle over T2,T3,T4 with costs 4,6,5 — min-cost picks T2. *)
+let fig1_cycles = [ [ (4, "e"); (3, "c"); (2, "b") ] ]
+
+let fig1_cost v _ = match v with 2 -> 4 | 3 -> 6 | 4 -> 5 | _ -> 99
+
+let test_min_cost_fig1 () =
+  let d = choose ~requester:2 ~cost:fig1_cost fig1_cycles in
+  checkb "T2 chosen" true (victims d = [ 2 ]);
+  checkb "optimal" true d.Resolver.optimal;
+  checkb "releases b" true (d.Resolver.victims = [ (2, [ "b" ]) ])
+
+let test_requester_policy () =
+  let d = choose ~policy:Policy.Requester ~requester:2 ~cost:fig1_cost fig1_cycles in
+  checkb "requester chosen" true (victims d = [ 2 ])
+
+let test_youngest_policy () =
+  let d = choose ~policy:Policy.Youngest ~requester:2 ~cost:fig1_cost fig1_cycles in
+  checkb "max entry order chosen" true (victims d = [ 4 ])
+
+let test_ordered_restricts_to_younger () =
+  (* requester 3: only 4 is younger; min cost among {4} = 4 even though 2
+     is cheaper overall *)
+  let cycles = [ [ (4, "e"); (3, "c"); (2, "b") ] ] in
+  let d = choose ~policy:Policy.Ordered_min_cost ~requester:3 ~cost:fig1_cost cycles in
+  checkb "older T2 protected" true (victims d = [ 4 ])
+
+let test_ordered_falls_back_to_requester () =
+  (* requester 4 is the youngest: no eligible younger member, so it rolls
+     itself back *)
+  let d = choose ~policy:Policy.Ordered_min_cost ~requester:4 ~cost:fig1_cost fig1_cycles in
+  checkb "requester fallback" true (victims d = [ 4 ])
+
+let test_multi_cycle_shared_vertex () =
+  (* Figure 3(c): two cycles, both through requester 1. With uniform
+     costs the shared vertex is the optimal cut. *)
+  let cycles = [ [ (2, "f"); (1, "a") ]; [ (3, "f"); (1, "b") ] ] in
+  let d = choose ~requester:1 ~cost:(fun _ _ -> 1) cycles in
+  checkb "shared vertex cut" true (victims d = [ 1 ]);
+  checkb "collects both entities" true
+    (List.assoc 1 d.Resolver.victims = [ "a"; "b" ])
+
+let test_multi_cycle_split_cut () =
+  let cycles = [ [ (2, "f"); (1, "a") ]; [ (3, "f"); (1, "b") ] ] in
+  let cost v _ = if v = 1 then 10 else 1 in
+  let d = choose ~requester:1 ~cost cycles in
+  checkb "split cut {2,3}" true (victims d = [ 2; 3 ])
+
+let test_random_policy_breaks_all () =
+  let cycles = [ [ (2, "f"); (1, "a") ]; [ (3, "g"); (1, "b") ] ] in
+  let d = choose ~policy:Policy.Random_victim ~requester:1 cycles in
+  (* whatever was picked must hit both cycles *)
+  let hit cycle = List.exists (fun (m, _) -> List.mem m (victims d)) cycle in
+  checkb "all cycles hit" true (List.for_all hit cycles)
+
+let test_empty_cycles_rejected () =
+  Alcotest.check_raises "no cycles" (Invalid_argument "Resolver.choose: no cycles")
+    (fun () -> ignore (choose []))
+
+let test_requester_missing_rejected () =
+  Alcotest.check_raises "requester missing"
+    (Invalid_argument "Resolver.choose: requester missing from a cycle")
+    (fun () -> ignore (choose ~requester:9 fig1_cycles))
+
+(* qcheck: for every policy, the decision is a cut (victims hit every
+   cycle). *)
+let arbitrary_cycles requester =
+  QCheck.Gen.(
+    list_size (int_range 1 4)
+      (list_size (int_range 1 3)
+         (pair (int_range 2 6) (oneofl [ "a"; "b"; "c" ])))
+    |> map (fun cycles ->
+           List.map (fun c -> ((requester, "r") :: c)) cycles))
+
+let qcheck_decision_is_cut policy =
+  QCheck.Test.make
+    ~name:(Printf.sprintf "decision hits every cycle (%s)" (Policy.to_string policy))
+    ~count:300
+    (QCheck.make (arbitrary_cycles 1))
+    (fun cycles ->
+      let d =
+        Resolver.choose ~policy ~requester:1 ~entry_order:Fun.id
+          ~release_cost:(fun v es -> v + List.length es)
+          ~rng:(Rng.make 7) cycles
+      in
+      let vs = victims d in
+      List.for_all (fun c -> List.exists (fun (m, _) -> List.mem m vs) c) cycles)
+
+(* qcheck: victims' entity lists cover exactly their cycle arcs *)
+let qcheck_victim_entities_sound =
+  QCheck.Test.make ~name:"victim entity lists come from their arcs" ~count:300
+    (QCheck.make (arbitrary_cycles 1))
+    (fun cycles ->
+      let d =
+        Resolver.choose ~policy:Policy.Min_cost ~requester:1
+          ~entry_order:Fun.id
+          ~release_cost:(fun _ es -> List.length es)
+          ~rng:(Rng.make 7) cycles
+      in
+      List.for_all
+        (fun (v, entities) ->
+          List.for_all
+            (fun e ->
+              List.exists (List.exists (fun (m, e') -> m = v && e = e')) cycles)
+            entities)
+        d.Resolver.victims)
+
+let () =
+  Alcotest.run "prb_resolver"
+    [
+      ( "policies",
+        [
+          Alcotest.test_case "string round-trip" `Quick test_policy_string_roundtrip;
+          Alcotest.test_case "min-cost on Figure 1" `Quick test_min_cost_fig1;
+          Alcotest.test_case "requester" `Quick test_requester_policy;
+          Alcotest.test_case "youngest" `Quick test_youngest_policy;
+          Alcotest.test_case "ordered protects elders" `Quick
+            test_ordered_restricts_to_younger;
+          Alcotest.test_case "ordered requester fallback" `Quick
+            test_ordered_falls_back_to_requester;
+        ] );
+      ( "multi-cycle",
+        [
+          Alcotest.test_case "shared vertex cut" `Quick test_multi_cycle_shared_vertex;
+          Alcotest.test_case "split cut" `Quick test_multi_cycle_split_cut;
+          Alcotest.test_case "random breaks all" `Quick test_random_policy_breaks_all;
+          Alcotest.test_case "empty rejected" `Quick test_empty_cycles_rejected;
+          Alcotest.test_case "requester missing rejected" `Quick
+            test_requester_missing_rejected;
+        ] );
+      ( "properties",
+        List.map (fun p -> QCheck_alcotest.to_alcotest (qcheck_decision_is_cut p)) Policy.all
+        @ [ QCheck_alcotest.to_alcotest qcheck_victim_entities_sound ] );
+    ]

@@ -1,0 +1,198 @@
+(* Tests for Prb_sim: the closed-system driver and its derived metrics. *)
+
+module Sim = Prb_sim.Sim
+module Scheduler = Prb_core.Scheduler
+module Strategy = Prb_rollback.Strategy
+module Policy = Prb_core.Policy
+module Generator = Prb_workload.Generator
+module Scenarios = Prb_workload.Scenarios
+module Store = Prb_storage.Store
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+let small_params =
+  { Generator.default_params with n_entities = 16; zipf_theta = 0.7; max_locks = 5 }
+
+let test_runs_everything () =
+  let r = Sim.run_generated ~params:small_params ~seed:2 ~n_txns:60 () in
+  checki "all commit" 60 r.Sim.stats.Scheduler.commits;
+  checkb "serializable" true r.Sim.serializable;
+  checkb "throughput positive" true (r.Sim.throughput > 0.0)
+
+let test_mpl_respected () =
+  (* with mpl=1 transactions run strictly serially: no blocks at all *)
+  let config =
+    { Sim.scheduler = Scheduler.default_config; mpl = 1 }
+  in
+  let r = Sim.run_generated ~config ~params:small_params ~seed:2 ~n_txns:20 () in
+  checki "no blocks under mpl 1" 0 r.Sim.stats.Scheduler.blocks;
+  checki "no deadlocks" 0 r.Sim.stats.Scheduler.deadlocks;
+  checki "commits" 20 r.Sim.stats.Scheduler.commits
+
+let test_contention_rises_with_mpl () =
+  let run mpl =
+    let config = { Sim.scheduler = Scheduler.default_config; mpl } in
+    (Sim.run_generated ~config ~params:small_params ~seed:2 ~n_txns:80 ())
+      .Sim.stats.Scheduler.blocks
+  in
+  checkb "mpl 12 blocks more than mpl 2" true (run 12 > run 2)
+
+let test_wasted_fraction_sane () =
+  let r = Sim.run_generated ~params:small_params ~seed:7 ~n_txns:60 () in
+  checkb "wasted in [0,1)" true
+    (r.Sim.wasted_fraction >= 0.0 && r.Sim.wasted_fraction < 1.0)
+
+let test_deterministic () =
+  let run () = Sim.run_generated ~params:small_params ~seed:3 ~n_txns:50 () in
+  let a = run () and b = run () in
+  checkb "same stats" true (a.Sim.stats = b.Sim.stats)
+
+let test_run_explicit_programs () =
+  let store = Scenarios.bank_store ~n_accounts:6 ~balance:100 in
+  let programs =
+    List.init 10 (fun i ->
+        Scenarios.transfer
+          ~name:(Printf.sprintf "t%d" i)
+          ~from_acct:(i mod 6)
+          ~to_acct:((i + 1) mod 6)
+          ~amount:1)
+  in
+  let r = Sim.run ~store programs in
+  checki "commits" 10 r.Sim.stats.Scheduler.commits;
+  checkb "invariant" true
+    (Store.Constraint.holds
+       (Scenarios.balance_invariant ~n_accounts:6 ~balance:100)
+       store)
+
+let test_strategy_tradeoff_shape () =
+  (* The paper's core claim at workload level: under identical contention,
+     MCS never loses more progress than Total, and peak copies order the
+     other way. *)
+  let run strategy =
+    let config =
+      {
+        Sim.scheduler = { Scheduler.default_config with strategy; seed = 1 };
+        mpl = 10;
+      }
+    in
+    Sim.run_generated ~config
+      ~params:{ small_params with zipf_theta = 0.9; min_writes = 2; max_writes = 3 }
+      ~seed:1 ~n_txns:100 ()
+  in
+  let total = run Strategy.Total and mcs = run Strategy.Mcs and sdg = run Strategy.Sdg in
+  checki "total commits" 100 total.Sim.stats.Scheduler.commits;
+  checki "mcs commits" 100 mcs.Sim.stats.Scheduler.commits;
+  checki "sdg commits" 100 sdg.Sim.stats.Scheduler.commits;
+  checkb "copies: mcs >= sdg" true (mcs.Sim.peak_copies >= sdg.Sim.peak_copies);
+  checkb "copies: mcs >= total" true (mcs.Sim.peak_copies >= total.Sim.peak_copies)
+
+(* --- open-system driver --- *)
+
+let test_open_runs_and_measures () =
+  let store = Generator.populate small_params in
+  let programs = Generator.generate small_params ~seed:5 ~n:40 in
+  let r =
+    Sim.Open.run ~store ~arrivals_per_ktick:50.0 ~arrival_seed:5 programs
+  in
+  checki "all commit" 40 r.Sim.Open.closed.Sim.stats.Scheduler.commits;
+  checkb "latencies positive" true (r.Sim.Open.mean_latency > 0.0);
+  checkb "p95 >= p50" true (r.Sim.Open.p95_latency >= r.Sim.Open.p50_latency);
+  checkb "max >= p95" true (r.Sim.Open.max_latency >= r.Sim.Open.p95_latency);
+  checkb "serializable" true r.Sim.Open.closed.Sim.serializable
+
+let test_open_latency_grows_with_load () =
+  let run rate =
+    let store = Generator.populate small_params in
+    let programs = Generator.generate small_params ~seed:5 ~n:80 in
+    (Sim.Open.run ~store ~arrivals_per_ktick:rate ~arrival_seed:5 programs)
+      .Sim.Open.mean_latency
+  in
+  checkb "heavier load, slower responses" true (run 200.0 > run 10.0)
+
+let test_open_light_load_is_uncontended () =
+  (* arrivals sparse enough (mean gap 5000 ticks vs ~20-op programs) that
+     transactions effectively run alone: latency ~ own execution time *)
+  let store = Generator.populate small_params in
+  let programs = Generator.generate small_params ~seed:6 ~n:20 in
+  let r =
+    Sim.Open.run ~store ~arrivals_per_ktick:0.2 ~arrival_seed:7 programs
+  in
+  checki "no blocks" 0 r.Sim.Open.closed.Sim.stats.Scheduler.blocks;
+  checki "no deadlocks" 0 r.Sim.Open.closed.Sim.stats.Scheduler.deadlocks;
+  checkb "latency = own execution time" true (r.Sim.Open.max_latency < 40.0)
+
+let test_open_deterministic () =
+  let run () =
+    let store = Generator.populate small_params in
+    let programs = Generator.generate small_params ~seed:7 ~n:30 in
+    let r =
+      Sim.Open.run ~store ~arrivals_per_ktick:60.0 ~arrival_seed:7 programs
+    in
+    (r.Sim.Open.mean_latency, r.Sim.Open.closed.Sim.stats)
+  in
+  checkb "identical" true (run () = run ())
+
+let test_open_bad_rate () =
+  Alcotest.check_raises "rate 0"
+    (Invalid_argument "Sim.Open.run: arrival rate must be positive")
+    (fun () ->
+      ignore
+        (Sim.Open.run ~store:(Store.create ()) ~arrivals_per_ktick:0.0
+           ~arrival_seed:1 []))
+
+let test_bad_mpl_rejected () =
+  Alcotest.check_raises "mpl 0" (Invalid_argument "Sim.run: mpl must be >= 1")
+    (fun () ->
+      ignore (Sim.run ~config:{ Sim.default_config with mpl = 0 } ~store:(Store.create ()) []))
+
+let () =
+  Alcotest.run "prb_sim"
+    [
+      ( "driver",
+        [
+          Alcotest.test_case "runs everything" `Quick test_runs_everything;
+          Alcotest.test_case "mpl 1 is serial" `Quick test_mpl_respected;
+          Alcotest.test_case "contention grows with mpl" `Quick
+            test_contention_rises_with_mpl;
+          Alcotest.test_case "wasted fraction sane" `Quick test_wasted_fraction_sane;
+          Alcotest.test_case "deterministic" `Quick test_deterministic;
+          Alcotest.test_case "explicit programs" `Quick test_run_explicit_programs;
+          Alcotest.test_case "strategy trade-off shape" `Slow
+            test_strategy_tradeoff_shape;
+          Alcotest.test_case "bad mpl" `Quick test_bad_mpl_rejected;
+        ] );
+      ( "scale",
+        [
+          Alcotest.test_case "1000 transactions at mpl 20" `Slow
+            (fun () ->
+              let params =
+                {
+                  Generator.default_params with
+                  n_entities = 128;
+                  zipf_theta = 0.6;
+                  max_locks = 6;
+                }
+              in
+              let config =
+                { Sim.scheduler = Scheduler.default_config; mpl = 20 }
+              in
+              let r =
+                Sim.run_generated ~config ~params ~seed:1 ~n_txns:1000 ()
+              in
+              checki "all commit" 1000 r.Sim.stats.Scheduler.commits;
+              checkb "serializable" true r.Sim.serializable;
+              checkb "deadlocks occurred and were survived" true
+                (r.Sim.stats.Scheduler.deadlocks > 0));
+        ] );
+      ( "open system",
+        [
+          Alcotest.test_case "runs and measures" `Quick test_open_runs_and_measures;
+          Alcotest.test_case "latency grows with load" `Quick
+            test_open_latency_grows_with_load;
+          Alcotest.test_case "light load uncontended" `Quick
+            test_open_light_load_is_uncontended;
+          Alcotest.test_case "deterministic" `Quick test_open_deterministic;
+          Alcotest.test_case "bad rate" `Quick test_open_bad_rate;
+        ] );
+    ]

@@ -1,0 +1,131 @@
+(* Tests for Prb_wfg.Waits_for: the labelled concurrency graph. *)
+
+module W = Prb_wfg.Waits_for
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+let test_set_and_clear_wait () =
+  let g = W.create () in
+  W.set_wait g ~waiter:1 ~holders:[ 2; 3 ] "a";
+  checkb "blocked" true (W.is_blocked g 1);
+  checkb "waits" true (W.waits g 1 = [ (2, "a"); (3, "a") ]);
+  checkb "in-edges of 2" true (W.waiting_on g 2 = [ (1, "a") ]);
+  W.clear_wait g 1;
+  checkb "cleared" false (W.is_blocked g 1);
+  checkb "no edges" true (W.edges g = [])
+
+let test_set_wait_replaces () =
+  let g = W.create () in
+  W.set_wait g ~waiter:1 ~holders:[ 2 ] "a";
+  W.set_wait g ~waiter:1 ~holders:[ 3 ] "b";
+  checkb "old edge gone" true (W.waits g 1 = [ (3, "b") ])
+
+let test_set_wait_self_rejected () =
+  let g = W.create () in
+  Alcotest.check_raises "self wait"
+    (Invalid_argument "Waits_for.set_wait: waiter among holders") (fun () ->
+      W.set_wait g ~waiter:1 ~holders:[ 1 ] "a")
+
+let test_remove_txn () =
+  let g = W.create () in
+  W.set_wait g ~waiter:1 ~holders:[ 2 ] "a";
+  W.set_wait g ~waiter:3 ~holders:[ 1 ] "b";
+  W.remove_txn g 1;
+  checkb "vertex gone" false (List.mem 1 (W.txns g));
+  checkb "incident edges gone" true (W.edges g = [])
+
+let test_would_deadlock_direct () =
+  let g = W.create () in
+  W.set_wait g ~waiter:1 ~holders:[ 2 ] "a";
+  (* 2 blocking on 1 closes the cycle *)
+  checkb "deadlock predicted" true (W.would_deadlock g ~waiter:2 ~holders:[ 1 ]);
+  checkb "no deadlock on fresh" false (W.would_deadlock g ~waiter:2 ~holders:[ 3 ])
+
+let test_would_deadlock_transitive () =
+  let g = W.create () in
+  W.set_wait g ~waiter:1 ~holders:[ 2 ] "a";
+  W.set_wait g ~waiter:2 ~holders:[ 3 ] "b";
+  checkb "transitive cycle" true (W.would_deadlock g ~waiter:3 ~holders:[ 1 ]);
+  checkb "chain extension fine" false (W.would_deadlock g ~waiter:4 ~holders:[ 1 ])
+
+let test_cycles_through () =
+  let g = W.create () in
+  W.set_wait g ~waiter:1 ~holders:[ 2; 3 ] "f";
+  W.set_wait g ~waiter:2 ~holders:[ 1 ] "a";
+  W.set_wait g ~waiter:3 ~holders:[ 1 ] "b";
+  checki "two cycles through 1" 2 (List.length (W.cycles_through g 1));
+  checki "one cycle through 2" 1 (List.length (W.cycles_through g 2))
+
+let test_exclusive_forest () =
+  let g = W.create () in
+  W.set_wait g ~waiter:1 ~holders:[ 2 ] "a";
+  W.set_wait g ~waiter:3 ~holders:[ 2 ] "b";
+  checkb "forest" true (W.is_exclusive_forest g);
+  W.set_wait g ~waiter:4 ~holders:[ 5; 6 ] "c";
+  checkb "shared wait breaks forest shape" false (W.is_exclusive_forest g)
+
+let test_pp_and_dot () =
+  let g = W.create () in
+  W.set_wait g ~waiter:1 ~holders:[ 2 ] "a";
+  let rendered = Fmt.str "%a" W.pp g in
+  checkb "pp mentions edge" true (rendered = "T1 -a-> T2");
+  let dot = W.to_dot g in
+  checkb "dot has arrow" true
+    (let needle = "T1 -> T2" in
+     let rec scan i =
+       i + String.length needle <= String.length dot
+       && (String.sub dot i (String.length needle) = needle || scan (i + 1))
+     in
+     scan 0)
+
+(* qcheck: would_deadlock(waiter, holders) is equivalent to adding the
+   edges and finding a cycle through the waiter. *)
+let qcheck_would_deadlock_oracle =
+  QCheck.Test.make ~name:"would_deadlock matches add-and-check oracle"
+    ~count:300
+    QCheck.(
+      pair
+        (list (pair (int_range 0 5) (int_range 0 5)))
+        (pair (int_range 0 5) (list (int_range 0 5))))
+    (fun (edges, (waiter, holders)) ->
+      (* install a consistent waits-for state: one entity per waiter *)
+      let g = W.create () in
+      let by_waiter = Hashtbl.create 8 in
+      List.iter
+        (fun (w, h) ->
+          if w <> h then
+            let hs = try Hashtbl.find by_waiter w with Not_found -> [] in
+            Hashtbl.replace by_waiter w (h :: hs))
+        edges;
+      Hashtbl.iter
+        (fun w hs -> W.set_wait g ~waiter:w ~holders:hs "e")
+        by_waiter;
+      let holders =
+        List.sort_uniq compare (List.filter (fun h -> h <> waiter) holders)
+      in
+      QCheck.assume (holders <> []);
+      QCheck.assume (not (W.is_blocked g waiter));
+      let predicted = W.would_deadlock g ~waiter ~holders in
+      W.set_wait g ~waiter ~holders "q";
+      let actual = W.cycles_through g waiter <> [] in
+      predicted = actual)
+
+let () =
+  Alcotest.run "prb_wfg"
+    [
+      ( "waits_for",
+        [
+          Alcotest.test_case "set/clear" `Quick test_set_and_clear_wait;
+          Alcotest.test_case "replace" `Quick test_set_wait_replaces;
+          Alcotest.test_case "self rejected" `Quick test_set_wait_self_rejected;
+          Alcotest.test_case "remove txn" `Quick test_remove_txn;
+          Alcotest.test_case "would_deadlock direct" `Quick test_would_deadlock_direct;
+          Alcotest.test_case "would_deadlock transitive" `Quick
+            test_would_deadlock_transitive;
+          Alcotest.test_case "cycles through" `Quick test_cycles_through;
+          Alcotest.test_case "forest shape" `Quick test_exclusive_forest;
+          Alcotest.test_case "pp / dot" `Quick test_pp_and_dot;
+          QCheck_alcotest.to_alcotest qcheck_would_deadlock_oracle;
+        ] );
+    ]

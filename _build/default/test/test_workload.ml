@@ -1,0 +1,258 @@
+(* Tests for Prb_workload: the generator's promises and the domain
+   scenarios. *)
+
+module Value = Prb_storage.Value
+module Store = Prb_storage.Store
+module Program = Prb_txn.Program
+module Lock_mode = Prb_txn.Lock_mode
+module Generator = Prb_workload.Generator
+module Scenarios = Prb_workload.Scenarios
+module Sdg_view = Prb_rollback.Sdg_view
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+let test_populate () =
+  let params = { Generator.default_params with n_entities = 10 } in
+  let store = Generator.populate params in
+  checki "size" 10 (Store.size store);
+  checkb "names" true (Store.mem store "e0009");
+  checkb "deterministic" true
+    (Store.equal_state store (Generator.populate params))
+
+let test_generate_deterministic () =
+  let ps = Generator.default_params in
+  let a = Generator.generate ps ~seed:9 ~n:20 in
+  let b = Generator.generate ps ~seed:9 ~n:20 in
+  checkb "same programs" true (List.for_all2 Program.equal a b);
+  let c = Generator.generate ps ~seed:10 ~n:20 in
+  checkb "different seed differs" false (List.for_all2 Program.equal a c)
+
+let test_generate_valid () =
+  List.iter
+    (fun seed ->
+      List.iter
+        (fun p -> checkb "valid" true (Program.validate p = Ok ()))
+        (Generator.generate Generator.default_params ~seed ~n:50))
+    [ 1; 2; 3 ]
+
+let test_lock_bounds_respected () =
+  let params =
+    { Generator.default_params with min_locks = 2; max_locks = 4 }
+  in
+  List.iter
+    (fun p ->
+      let n = Program.n_locks p in
+      checkb "within bounds" true (n >= 2 && n <= 4))
+    (Generator.generate params ~seed:4 ~n:60)
+
+let test_read_fraction_extremes () =
+  let all_x =
+    Generator.generate
+      { Generator.default_params with read_fraction = 0.0 }
+      ~seed:5 ~n:30
+  in
+  let count_mode mode p =
+    Array.fold_left
+      (fun acc op ->
+        match op with
+        | Program.Lock (m, _) when Lock_mode.equal m mode -> acc + 1
+        | _ -> acc)
+      0 p.Program.ops
+  in
+  checkb "no shared locks" true
+    (List.for_all (fun p -> count_mode Lock_mode.Shared p = 0) all_x);
+  let all_s =
+    Generator.generate
+      { Generator.default_params with read_fraction = 1.0 }
+      ~seed:5 ~n:30
+  in
+  checkb "no exclusive locks" true
+    (List.for_all (fun p -> count_mode Lock_mode.Exclusive p = 0) all_s)
+
+let test_three_phase_param () =
+  let params =
+    { Generator.default_params with three_phase = true; read_fraction = 0.0 }
+  in
+  List.iter
+    (fun p -> checkb "three-phase structure" true (Program.is_three_phase p))
+    (Generator.generate params ~seed:6 ~n:40)
+
+let test_clustering_improves_well_defined () =
+  (* aggregate over many programs: clustered workloads leave fewer
+     destroyed states than scattered ones *)
+  let fraction_wd params seed =
+    let programs = Generator.generate params ~seed ~n:60 in
+    let wd, states =
+      List.fold_left
+        (fun (wd, states) p ->
+          ( wd + List.length (Sdg_view.well_defined_states p),
+            states + Program.n_locks p + 1 ))
+        (0, 0) programs
+    in
+    float_of_int wd /. float_of_int states
+  in
+  let base =
+    { Generator.default_params with min_writes = 2; max_writes = 3; max_locks = 7 }
+  in
+  let clustered = fraction_wd { base with clustering = 1.0 } 13 in
+  let scattered = fraction_wd { base with clustering = 0.0 } 13 in
+  checkb "clustering preserves more states" true (clustered > scattered)
+
+let test_generator_rejects_bad_params () =
+  Alcotest.check_raises "locks > entities"
+    (Invalid_argument "Generator: more locks than entities") (fun () ->
+      ignore
+        (Generator.generate
+           { Generator.default_params with n_entities = 2; max_locks = 5 }
+           ~seed:1 ~n:1))
+
+(* --- Scenarios --- *)
+
+let test_transfer_shape () =
+  let p = Scenarios.transfer ~name:"t" ~from_acct:0 ~to_acct:1 ~amount:5 in
+  checkb "valid" true (Program.validate p = Ok ());
+  checki "two locks" 2 (Program.n_locks p);
+  checkb "no damage (single write per entity)" true (Program.damage_span p = 0)
+
+let test_audit_shape () =
+  let p = Scenarios.audit ~name:"a" ~accounts:[ 0; 1; 2 ] in
+  checkb "valid" true (Program.validate p = Ok ());
+  let all_shared =
+    Array.for_all
+      (function
+        | Program.Lock (m, _) -> Lock_mode.equal m Lock_mode.Shared
+        | _ -> true)
+      p.Program.ops
+  in
+  checkb "all locks shared" true all_shared
+
+let test_bank_invariant_on_serial_run () =
+  let store = Scenarios.bank_store ~n_accounts:4 ~balance:100 in
+  let sched = Prb_core.Scheduler.create store in
+  let _ =
+    Prb_core.Scheduler.submit sched
+      (Scenarios.transfer ~name:"t0" ~from_acct:0 ~to_acct:1 ~amount:30)
+  in
+  let _ =
+    Prb_core.Scheduler.submit sched
+      (Scenarios.transfer ~name:"t1" ~from_acct:2 ~to_acct:3 ~amount:5)
+  in
+  Prb_core.Scheduler.run sched;
+  checkb "invariant" true
+    (Store.Constraint.holds
+       (Scenarios.balance_invariant ~n_accounts:4 ~balance:100)
+       store);
+  checkb "moved" true (Value.equal (Store.get store "acct001") (Value.int 130))
+
+let test_order_and_restock () =
+  let store = Scenarios.inventory_store ~n_items:3 ~stock:50 in
+  let sched = Prb_core.Scheduler.create store in
+  let _ =
+    Prb_core.Scheduler.submit sched
+      (Scenarios.order ~name:"o" ~items:[ (0, 10); (1, 5) ])
+  in
+  let _ =
+    Prb_core.Scheduler.submit sched
+      (Scenarios.restock ~name:"r" ~item:0 ~quantity:7)
+  in
+  Prb_core.Scheduler.run sched;
+  checkb "item0 = 50 - 10 + 7" true
+    (Value.equal (Store.get store "item000") (Value.int 47));
+  checkb "item1 = 45" true (Value.equal (Store.get store "item001") (Value.int 45))
+
+let test_order_never_negative () =
+  let store = Scenarios.inventory_store ~n_items:1 ~stock:5 in
+  let sched = Prb_core.Scheduler.create store in
+  let _ =
+    Prb_core.Scheduler.submit sched
+      (Scenarios.order ~name:"big" ~items:[ (0, 99) ])
+  in
+  Prb_core.Scheduler.run sched;
+  checkb "clamped at zero" true
+    (Value.equal (Store.get store "item000") (Value.int 0))
+
+let test_order_entry () =
+  let store =
+    Scenarios.order_entry_store ~n_warehouses:1 ~districts_per_warehouse:2
+      ~items_per_warehouse:5 ~stock:100
+  in
+  let sched = Prb_core.Scheduler.create store in
+  let _ =
+    Prb_core.Scheduler.submit sched
+      (Scenarios.new_order ~name:"o1" ~warehouse:0 ~district:0
+         ~lines:[ (1, 10); (3, 4) ])
+  in
+  let _ =
+    Prb_core.Scheduler.submit sched
+      (Scenarios.new_order ~name:"o2" ~warehouse:0 ~district:0
+         ~lines:[ (3, 1) ])
+  in
+  Prb_core.Scheduler.run sched;
+  checkb "done" true (Prb_core.Scheduler.all_committed sched);
+  (* district counter advanced twice *)
+  checkb "order ids consumed" true
+    (Value.equal
+       (Store.get store (Scenarios.district_counter ~warehouse:0 ~district:0))
+       (Value.int 3));
+  checkb "stock 3 decremented by both" true
+    (Value.equal
+       (Store.get store (Scenarios.stock_entry ~warehouse:0 ~item:3))
+       (Value.int 95));
+  checkb "ytd totals quantities" true
+    (Value.equal (Store.get store (Scenarios.warehouse_ytd 0)) (Value.int 15))
+
+let test_order_entry_programs_valid () =
+  checkb "new_order valid" true
+    (Program.validate
+       (Scenarios.new_order ~name:"o" ~warehouse:0 ~district:1
+          ~lines:[ (0, 1); (2, 2); (4, 3) ])
+    = Ok ());
+  checkb "stock_level valid" true
+    (Program.validate
+       (Scenarios.stock_level ~name:"s" ~warehouse:0 ~items:[ 0; 1; 2 ])
+    = Ok ())
+
+let test_sdg_dot_render () =
+  let p =
+    Scenarios.new_order ~name:"o" ~warehouse:0 ~district:0
+      ~lines:[ (0, 1); (1, 2) ]
+  in
+  let dot = Sdg_view.to_dot p in
+  let contains needle =
+    let nh = String.length dot and nn = String.length needle in
+    let rec scan i = i + nn <= nh && (String.sub dot i nn = needle || scan (i + 1)) in
+    scan 0
+  in
+  checkb "graph header" true (contains "graph sdg {");
+  checkb "has chain edge" true (contains "s0 -- s1");
+  checkb "has dashed write edge" true (contains "style=dashed")
+
+let () =
+  Alcotest.run "prb_workload"
+    [
+      ( "generator",
+        [
+          Alcotest.test_case "populate" `Quick test_populate;
+          Alcotest.test_case "deterministic" `Quick test_generate_deterministic;
+          Alcotest.test_case "always valid" `Quick test_generate_valid;
+          Alcotest.test_case "lock bounds" `Quick test_lock_bounds_respected;
+          Alcotest.test_case "read fraction extremes" `Quick test_read_fraction_extremes;
+          Alcotest.test_case "three-phase param" `Quick test_three_phase_param;
+          Alcotest.test_case "clustering effect" `Quick
+            test_clustering_improves_well_defined;
+          Alcotest.test_case "bad params" `Quick test_generator_rejects_bad_params;
+        ] );
+      ( "scenarios",
+        [
+          Alcotest.test_case "transfer shape" `Quick test_transfer_shape;
+          Alcotest.test_case "audit shape" `Quick test_audit_shape;
+          Alcotest.test_case "bank invariant" `Quick test_bank_invariant_on_serial_run;
+          Alcotest.test_case "order and restock" `Quick test_order_and_restock;
+          Alcotest.test_case "order clamps at zero" `Quick test_order_never_negative;
+          Alcotest.test_case "order entry end-to-end" `Quick test_order_entry;
+          Alcotest.test_case "order entry programs valid" `Quick
+            test_order_entry_programs_valid;
+          Alcotest.test_case "SDG dot rendering" `Quick test_sdg_dot_render;
+        ] );
+    ]
