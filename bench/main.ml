@@ -1,5 +1,5 @@
 (* The experiment harness: regenerates every figure of the paper and the
-   quantitative sweeps behind its claims (experiment ids E1-E11, see
+   quantitative sweeps behind its claims (experiment ids E1-E12, see
    DESIGN.md Section 5 and EXPERIMENTS.md), then reports micro-benchmark
    costs of the hot paths.
 
@@ -16,6 +16,7 @@ let sections =
     ("E7+E8", "trade-off sweep and victim ablation", Exp_tradeoff.run);
     ("E9", "three-phase structure", Exp_structure.run);
     ("E10", "distributed systems", Exp_distrib.run);
+    ("E12", "fault injection and recovery", Exp_faults.run);
     ("MICRO", "hot-path micro-benchmarks", Micro.run);
   ]
 

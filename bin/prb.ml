@@ -482,6 +482,56 @@ let analyze_cmd =
   let doc = "analyse transaction structure for rollback friendliness" in
   Cmd.v (Cmd.info "analyze" ~doc) Term.(const analyze_file $ dot_arg $ file_arg)
 
+(* --- prb chaos: fault-injection sweep --------------------------------- *)
+
+let chaos_seeds_arg =
+  Arg.(
+    value & opt int 20
+    & info [ "seeds" ] ~docv:"N"
+        ~doc:"Fault-plan seeds to sweep (each runs both engines).")
+
+let chaos_horizon_arg =
+  Arg.(
+    value & opt int 400
+    & info [ "horizon" ] ~docv:"TICKS"
+        ~doc:"Tick after which every plan stops injecting faults.")
+
+let chaos_verbose_arg =
+  Arg.(
+    value & flag
+    & info [ "verbose"; "v" ] ~doc:"Print every report, not just failures.")
+
+let run_chaos seeds horizon verbose =
+  let module Chaos = Prb_chaos.Chaos in
+  let reports = Chaos.sweep ~horizon ~seeds () in
+  if verbose then
+    List.iter (fun r -> Fmt.pr "%a@.@." Chaos.pp_report r) reports;
+  let bad = Chaos.failures reports in
+  List.iter (fun r -> Fmt.pr "FAIL %a@.@." Chaos.pp_report r) bad;
+  Fmt.pr "chaos: %d/%d runs clean@."
+    (List.length reports - List.length bad)
+    (List.length reports);
+  if bad = [] then 0 else 1
+
+let chaos_cmd =
+  let doc = "sweep randomized fault plans and check recovery invariants" in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Runs a conserved-sum transfer workload through both engines under \
+         randomized fault plans (site crashes, message loss/duplication/\
+         delay, detector outages, transaction crashes) and checks, after \
+         every run: serializability, balance conservation, an empty lock \
+         table, full commitment, and bit-for-bit replay determinism.";
+    ]
+  in
+  Cmd.v
+    (Cmd.info "chaos" ~doc ~man)
+    Term.(
+      const run_chaos $ chaos_seeds_arg $ chaos_horizon_arg
+      $ chaos_verbose_arg)
+
 (* --- main ------------------------------------------------------------- *)
 
 let () =
@@ -489,4 +539,5 @@ let () =
   let info = Cmd.info "prb" ~version:"1.0.0" ~doc in
   exit
     (Cmd.eval'
-       (Cmd.group info [ sim_cmd; sweep_cmd; distrib_cmd; run_cmd; analyze_cmd ]))
+       (Cmd.group info
+          [ sim_cmd; sweep_cmd; distrib_cmd; run_cmd; analyze_cmd; chaos_cmd ]))

@@ -8,6 +8,7 @@ module Txn_state = Prb_rollback.Txn_state
 module History = Prb_history.History
 module Heap = Prb_util.Heap
 module Rng = Prb_util.Rng
+module Fault = Prb_fault.Fault
 
 type intervention =
   | Detect
@@ -24,6 +25,7 @@ type config = {
   cycle_limit : int;
   restart_delay : int;
   fair_locking : bool;
+  faults : Fault.plan option;
 }
 
 let default_config =
@@ -36,6 +38,7 @@ let default_config =
     cycle_limit = 256;
     restart_delay = 0;
     fair_locking = true;
+    faults = None;
   }
 
 exception Stuck of string
@@ -46,13 +49,21 @@ let src = Logs.Src.create "prb.scheduler" ~doc:"partial-rollback scheduler"
 
 module Log = (val Logs.src_log src : Logs.LOG)
 
+type event =
+  | Exec of int
+  | Timer of int  (** a [Timeout_abort] timer for the transaction *)
+  | Crash_txn of int
+      (** a scheduled transaction crash; the payload is the plan's victim
+          selector, resolved against the live growing transactions when
+          the crash fires *)
+
 type t = {
   cfg : config;
   store : Store.t;
   locks : Lock_table.t;
   wfg : Waits_for.t;
   txns : (int, Txn_state.t) Hashtbl.t;
-  events : int Heap.t; (* payload: txn id *)
+  events : event Heap.t;
   hist : History.t;
   rng : Rng.t;
   mutable next_id : int;
@@ -66,6 +77,9 @@ type t = {
   mutable optimal_resolutions : int;
   mutable timeout_events : int;
   mutable prevention_events : int;
+  mutable txn_crash_events : int;
+  crash_counts : (int, int) Hashtbl.t;
+      (** crashes suffered per transaction, driving re-admission backoff *)
   blocked_since : (int, int) Hashtbl.t;
   submit_ticks : (int, int) Hashtbl.t;
   commit_ticks : (int, int) Hashtbl.t;
@@ -76,6 +90,7 @@ type t = {
 }
 
 let create ?(config = default_config) store =
+  let t =
   {
     cfg = config;
     store;
@@ -96,12 +111,24 @@ let create ?(config = default_config) store =
     optimal_resolutions = 0;
     timeout_events = 0;
     prevention_events = 0;
+    txn_crash_events = 0;
+    crash_counts = Hashtbl.create 8;
     blocked_since = Hashtbl.create 16;
     submit_ticks = Hashtbl.create 64;
     commit_ticks = Hashtbl.create 64;
     ops_committed = 0;
     deadlock_hook = None;
   }
+  in
+  (match config.faults with
+  | Some p when not (Fault.is_none p) ->
+      List.iter
+        (fun (c : Fault.txn_crash) ->
+          Heap.push t.events ~priority:(max 1 c.Fault.crash_at)
+            (Crash_txn c.Fault.victim))
+        p.Fault.txn_crashes
+  | Some _ | None -> ());
+  t
 
 let config t = t.cfg
 let store t = t.store
@@ -117,7 +144,7 @@ let submit_at ?copy_allocation t ~at program =
   Hashtbl.replace t.txns id ts;
   Hashtbl.replace t.submit_ticks id at;
   Waits_for.add_txn t.wfg id;
-  Heap.push t.events ~priority:(max (t.tick + 1) at) id;
+  Heap.push t.events ~priority:(max (t.tick + 1) at) (Exec id);
   id
 
 let submit ?copy_allocation t program =
@@ -138,7 +165,7 @@ let waits_for t = t.wfg
 let lock_table t = t.locks
 let history t = t.hist
 
-let schedule t id = Heap.push t.events ~priority:(t.tick + 1) id
+let schedule t id = Heap.push t.events ~priority:(t.tick + 1) (Exec id)
 
 (* After the holder set of [e] changed without a grant, blocked waiters'
    waits-for edges must track the new holders. *)
@@ -274,7 +301,7 @@ let apply_rollback t v entities =
           History.discard t.hist v e;
           release_lock t v e)
         released);
-  Heap.push t.events ~priority:(t.tick + 1 + t.cfg.restart_delay) v
+  Heap.push t.events ~priority:(t.tick + 1 + t.cfg.restart_delay) (Exec v)
 
 let blocked_txns t =
   List.filter (fun id -> Waits_for.is_blocked t.wfg id) (Waits_for.txns t.wfg)
@@ -340,7 +367,7 @@ let self_restart t id =
       History.discard t.hist id e;
       release_lock t id e)
     released;
-  Heap.push t.events ~priority:(t.tick + 1 + t.cfg.restart_delay) id
+  Heap.push t.events ~priority:(t.tick + 1 + t.cfg.restart_delay) (Exec id)
 
 (* Wound-wait (centralised): the older requester wounds each younger
    blocker, which partially rolls back just far enough to release the
@@ -358,6 +385,47 @@ let wound_younger_blockers t requester e blockers =
         apply_rollback t b [ e ]
       end)
     blockers
+
+(* A transaction crash (fault plan): the victim loses its volatile state —
+   rollback to state 0, releasing everything — and is re-admitted after a
+   delay that doubles with repeated crashes of the same transaction.
+   Shrinking transactions are past their commit point and immune, so the
+   plan's victim selector resolves against live growing transactions
+   only (modulo their count, keeping plans replayable on any workload). *)
+let crash_transaction t selector =
+  let live =
+    List.filter
+      (fun id -> Txn_state.phase (txn_state t id) = Txn_state.Growing)
+      (all_txns t)
+  in
+  match live with
+  | [] -> ()
+  | _ :: _ ->
+      let id = List.nth live (abs selector mod List.length live) in
+      let n = 1 + Option.value ~default:0 (Hashtbl.find_opt t.crash_counts id) in
+      Hashtbl.replace t.crash_counts id n;
+      t.txn_crash_events <- t.txn_crash_events + 1;
+      Log.info (fun m -> m "[%d] T%d crashed (crash #%d)" t.tick id n);
+      let to_ =
+        match t.cfg.faults with
+        | Some p -> p.Fault.timeouts
+        | None -> Fault.default_timeouts
+      in
+      let delay =
+        to_.Fault.readmit_delay * (1 lsl min (n - 1) to_.Fault.backoff_cap)
+      in
+      let ts = txn_state t id in
+      cancel_pending_request t id;
+      Waits_for.clear_wait t.wfg id;
+      Hashtbl.remove t.blocked_since id;
+      let released = Txn_state.rollback_to ts Txn_state.restart_target in
+      t.rollback_events <- t.rollback_events + 1;
+      List.iter
+        (fun e ->
+          History.discard t.hist id e;
+          release_lock t id e)
+        released;
+      Heap.push t.events ~priority:(t.tick + 1 + delay) (Exec id)
 
 (* --- Executing one transaction step -------------------------------- *)
 
@@ -387,7 +455,7 @@ let handle_lock_request t id mode e =
             resolve_deadlocks t id
       | Timeout_abort n ->
           Hashtbl.replace t.blocked_since id t.tick;
-          Heap.push t.events ~priority:(t.tick + n) (-id - 1)
+          Heap.push t.events ~priority:(t.tick + n) (Timer id)
       | Wound_wait_c -> wound_younger_blockers t id e holders
       | Wait_die_c ->
           if List.exists (fun b -> b < id) holders then begin
@@ -452,30 +520,30 @@ let step t =
            waits-for graph has a runnable transaction, and runnable
            transactions hold events). *)
         raise (Stuck "event queue drained with live transactions")
-    | Some (tick, payload) ->
+    | Some (tick, ev) ->
         if tick > t.cfg.max_ticks then false
         else begin
           t.tick <- max t.tick tick;
-          (if payload < 0 then begin
-             (* a Timeout_abort timer: restart the waiter if it is still
-                stuck on the same wait *)
-             let id = -payload - 1 in
-             let n =
-               match t.cfg.intervention with
-               | Timeout_abort n -> n
-               | Detect | Wound_wait_c | Wait_die_c -> max_int
-             in
-             match Hashtbl.find_opt t.blocked_since id with
-             | Some since when Waits_for.is_blocked t.wfg id ->
-                 if since + n <= t.tick then begin
-                   t.timeout_events <- t.timeout_events + 1;
-                   Log.info (fun m -> m "[%d] T%d timed out; restarting" t.tick id);
-                   self_restart t id
-                 end
-                 else Heap.push t.events ~priority:(since + n) payload
-             | Some _ | None -> ()
-           end
-           else exec_one t payload);
+          (match ev with
+          | Exec id -> exec_one t id
+          | Crash_txn selector -> crash_transaction t selector
+          | Timer id -> (
+              (* a Timeout_abort timer: restart the waiter if it is still
+                 stuck on the same wait *)
+              let n =
+                match t.cfg.intervention with
+                | Timeout_abort n -> n
+                | Detect | Wound_wait_c | Wait_die_c -> max_int
+              in
+              match Hashtbl.find_opt t.blocked_since id with
+              | Some since when Waits_for.is_blocked t.wfg id ->
+                  if since + n <= t.tick then begin
+                    t.timeout_events <- t.timeout_events + 1;
+                    Log.info (fun m -> m "[%d] T%d timed out; restarting" t.tick id);
+                    self_restart t id
+                  end
+                  else Heap.push t.events ~priority:(since + n) ev
+              | Some _ | None -> ()));
           true
         end
 
@@ -500,6 +568,7 @@ type stats = {
   optimal_resolutions : int;
   timeouts : int;
   preventions : int;
+  txn_crashes : int;
 }
 
 let set_deadlock_hook t hook = t.deadlock_hook <- Some hook
@@ -530,6 +599,7 @@ let stats t =
     optimal_resolutions = t.optimal_resolutions;
     timeouts = t.timeout_events;
     preventions = t.prevention_events;
+    txn_crashes = t.txn_crash_events;
   }
 
 let pp_stats ppf s =
@@ -537,7 +607,9 @@ let pp_stats ppf s =
     "@[<v>ticks: %d@,commits: %d@,deadlocks: %d (cycles broken: %d)@,\
      rollbacks: %d (+%d requeues)@,ops lost: %d (overshoot %d)@,\
      ops committed: %d@,ops executed: %d@,blocks: %d@,peak copies: %d@,\
-     optimal resolutions: %d@,timeouts: %d, preventions: %d@]"
+     optimal resolutions: %d@,timeouts: %d, preventions: %d@,\
+     txn crashes: %d@]"
     s.ticks s.commits s.deadlocks s.cycles_broken s.rollbacks s.requeues
     s.ops_lost s.overshoot_ops s.ops_committed s.ops_executed s.blocks
     s.peak_copies s.optimal_resolutions s.timeouts s.preventions
+    s.txn_crashes

@@ -52,12 +52,18 @@ type config = {
           liveness with shared locks (see {!Prb_lock.Lock_table});
           [false]: the paper's availability rule, identical on
           exclusive-only workloads *)
+  faults : Prb_fault.Fault.plan option;
+      (** transaction crashes only (the centralised engine has no sites
+          or messages): each scheduled crash picks a live growing
+          transaction, rolls it back to state 0 and re-admits it after a
+          delay that doubles with repeated crashes of the same
+          transaction (DESIGN.md Section 7) *)
 }
 
 val default_config : config
 (** [Sdg] strategy, [Detect] intervention, [Ordered_min_cost] policy,
     seed 1, 1_000_000 ticks, 256 cycles, restart delay 0, fair
-    locking. *)
+    locking, no faults. *)
 
 val create : ?config:config -> Prb_storage.Store.t -> t
 
@@ -129,6 +135,7 @@ type stats = {
   optimal_resolutions : int;  (** decisions from the exact cut solver *)
   timeouts : int;  (** [Timeout_abort] self-restarts *)
   preventions : int;  (** wounds ([Wound_wait_c]) or deaths ([Wait_die_c]) *)
+  txn_crashes : int;  (** fault-plan transaction crashes that hit a victim *)
 }
 
 val stats : t -> stats

@@ -10,6 +10,7 @@ module Heap = Prb_util.Heap
 module Rng = Prb_util.Rng
 module Policy = Prb_core.Policy
 module Resolver = Prb_core.Resolver
+module Fault = Prb_fault.Fault
 
 type detection = Local_then_global of int | Wound_wait
 
@@ -22,6 +23,7 @@ type config = {
   max_ticks : int;
   cycle_limit : int;
   restart_delay : int;
+  faults : Fault.plan option;
 }
 
 (* The default victim policy differs from the centralised engine's:
@@ -42,14 +44,40 @@ let default_config =
     max_ticks = 1_000_000;
     cycle_limit = 256;
     restart_delay = 0;
+    faults = None;
   }
 
 exception Stuck of string
 
-(* Event payloads: a transaction id, or the periodic global detector. *)
-let detector_event = -1
+(* Without a fault plan every remote interaction is synchronous (the seed
+   model: messages are counted, never materialised). With a plan, remote
+   lock requests, grant replies and unlock/commit releases become events
+   that can be lost, duplicated or delayed; crashes and recoveries are
+   events too. *)
+type event =
+  | Exec of int
+  | Detector
+  | Req_arrive of int * Lock_mode.t * Store.entity
+      (** a (possibly retransmitted) remote lock request reaches the
+          entity's site *)
+  | Req_timeout of int * Store.entity
+      (** requester-side probe: retransmit a lost request, rediscover a
+          lost grant *)
+  | Grant_arrive of int * Store.entity
+      (** the site's grant reply reaches the requester *)
+  | Release_arrive of int * Store.entity
+  | Release_retry of int * Store.entity * int  (** attempt count *)
+  | Crash of int * int  (** site, downtime *)
+  | Recover of int
 
-type meta = { home : int; mutable last_site : int }
+type meta = {
+  home : int;
+  mutable last_site : int;
+  mutable pending : (Lock_mode.t * Store.entity) option;
+      (** the remote request in flight (or queued remotely); the owner is
+          parked until a grant is observed *)
+  mutable attempt : int;  (** retransmissions of the pending request *)
+}
 
 type t = {
   cfg : config;
@@ -59,9 +87,17 @@ type t = {
   wfg : Waits_for.t;
   txns : (int, Txn_state.t) Hashtbl.t;
   metas : (int, meta) Hashtbl.t;
-  events : int Heap.t;
+  events : event Heap.t;
   hist : History.t;
   rng : Rng.t;
+  faults : Fault.t option;
+  down : bool array;
+  up_at : int array;  (** recovery tick of a currently-down site *)
+  blocked_since : (int, int) Hashtbl.t;
+  mutable inflight_releases : int;
+      (** release messages not yet delivered; the run is quiescent only
+          once they drain, or end-of-run lock-table checks would see
+          phantom rows *)
   mutable next_id : int;
   mutable tick : int;
   mutable commits : int;
@@ -73,6 +109,14 @@ type t = {
   mutable messages : int;
   mutable shipped_copies : int;
   mutable detection_rounds : int;
+  mutable site_crashes : int;
+  mutable site_recoveries : int;
+  mutable purged_locks : int;
+  mutable msgs_lost : int;
+  mutable msgs_duplicated : int;
+  mutable retransmissions : int;
+  mutable timeout_aborts : int;
+  mutable missed_rounds : int;
 }
 
 let default_site_of n_sites e =
@@ -84,6 +128,11 @@ let create ?site_of config store =
     match site_of with
     | Some f -> f
     | None -> default_site_of config.n_sites
+  in
+  let faults =
+    match config.faults with
+    | Some p when not (Fault.is_none p) -> Some (Fault.make p)
+    | Some _ | None -> None
   in
   let t =
     {
@@ -97,6 +146,11 @@ let create ?site_of config store =
       events = Heap.create ();
       hist = History.create ();
       rng = Rng.make config.seed;
+      faults;
+      down = Array.make config.n_sites false;
+      up_at = Array.make config.n_sites 0;
+      blocked_since = Hashtbl.create 16;
+      inflight_releases = 0;
       next_id = 0;
       tick = 0;
       commits = 0;
@@ -108,13 +162,30 @@ let create ?site_of config store =
       messages = 0;
       shipped_copies = 0;
       detection_rounds = 0;
+      site_crashes = 0;
+      site_recoveries = 0;
+      purged_locks = 0;
+      msgs_lost = 0;
+      msgs_duplicated = 0;
+      retransmissions = 0;
+      timeout_aborts = 0;
+      missed_rounds = 0;
     }
   in
   (match config.detection with
   | Local_then_global period ->
       if period < 1 then invalid_arg "Dist_scheduler: period < 1";
-      Heap.push t.events ~priority:period detector_event
+      Heap.push t.events ~priority:period Detector
   | Wound_wait -> ());
+  (match faults with
+  | Some f ->
+      List.iter
+        (fun (c : Fault.site_crash) ->
+          if c.Fault.site >= 0 && c.Fault.site < config.n_sites then
+            Heap.push t.events ~priority:(max 1 c.Fault.at)
+              (Crash (c.Fault.site, max 1 c.Fault.downtime)))
+        (Fault.plan f).Fault.site_crashes
+  | None -> ());
   t
 
 let site_of t e = t.site_fn e
@@ -123,7 +194,9 @@ let lock_table t = t.locks
 let now t = t.tick
 let n_committed t = t.commits
 let all_committed t = t.commits = Hashtbl.length t.txns
+let quiescent t = all_committed t && t.inflight_releases = 0
 let history t = t.hist
+let site_up t s = not t.down.(s)
 
 let txn_state t id =
   match Hashtbl.find_opt t.txns id with
@@ -131,6 +204,17 @@ let txn_state t id =
   | None -> raise Not_found
 
 let meta t id = Hashtbl.find t.metas id
+
+let timeouts t =
+  match t.faults with
+  | Some f -> (Fault.plan f).Fault.timeouts
+  | None -> Fault.default_timeouts
+
+let push t ~at ev = Heap.push t.events ~priority:at ev
+
+let push_release t ~at ev =
+  t.inflight_releases <- t.inflight_releases + 1;
+  push t ~at ev
 
 let submit t ~home program =
   if home < 0 || home >= t.cfg.n_sites then
@@ -141,12 +225,13 @@ let submit t ~home program =
     Txn_state.create ~strategy:t.cfg.strategy ~id ~store:t.store program
   in
   Hashtbl.replace t.txns id ts;
-  Hashtbl.replace t.metas id { home; last_site = home };
+  Hashtbl.replace t.metas id
+    { home; last_site = home; pending = None; attempt = 0 };
   Waits_for.add_txn t.wfg id;
-  Heap.push t.events ~priority:(t.tick + 1) id;
+  push t ~at:(t.tick + 1) (Exec id);
   id
 
-let schedule t id = Heap.push t.events ~priority:(t.tick + 1) id
+let schedule t id = push t ~at:(t.tick + 1) (Exec id)
 
 let refresh_waiters t e =
   List.iter
@@ -156,32 +241,119 @@ let refresh_waiters t e =
       | holders -> Waits_for.set_wait t.wfg ~waiter:w ~holders e)
     (Lock_table.waiters t.locks e)
 
+(* --- Messaging ------------------------------------------------------- *)
+
+(* The requester learns its lock was granted (synchronously, via a grant
+   reply, or via a probe that rediscovers a grant whose reply was lost). *)
+let notify_grant t w e =
+  let ts = txn_state t w in
+  let m = meta t w in
+  m.pending <- None;
+  m.attempt <- 0;
+  Txn_state.lock_granted ts;
+  (* The lock stream of [w] has now touched [e]'s site: partial
+     strategies ship their bookkeeping along (Section 3.3). *)
+  let s = site_of t e in
+  if s <> m.last_site then begin
+    if not (Strategy.equal t.cfg.strategy Strategy.Total) then begin
+      t.messages <- t.messages + 1;
+      t.shipped_copies <- t.shipped_copies + Txn_state.current_copies ts
+    end;
+    m.last_site <- s
+  end;
+  schedule t w
+
+let send_grant t f w e =
+  t.messages <- t.messages + 1;
+  match Fault.roll f ~tick:t.tick with
+  | Fault.Deliver d -> push t ~at:(t.tick + 1 + d) (Grant_arrive (w, e))
+  | Fault.Duplicate (d1, d2) ->
+      t.msgs_duplicated <- t.msgs_duplicated + 1;
+      push t ~at:(t.tick + 1 + d1) (Grant_arrive (w, e));
+      push t ~at:(t.tick + 1 + d2) (Grant_arrive (w, e))
+  | Fault.Lose -> t.msgs_lost <- t.msgs_lost + 1
+      (* the waiter's probe keeps running while its request is pending:
+         it will rediscover the grant in the lock table *)
+
 let process_grants t grants =
   List.iter
     (fun (w, mode, e) ->
       Waits_for.clear_wait t.wfg w;
+      Hashtbl.remove t.blocked_since w;
       History.note_grant t.hist ~tick:t.tick w e mode;
-      Txn_state.lock_granted (txn_state t w);
-      (* The lock stream of [w] has now touched [e]'s site: partial
-         strategies ship their bookkeeping along (Section 3.3). *)
-      let m = meta t w in
-      let s = site_of t e in
-      if s <> m.last_site then begin
-        if not (Strategy.equal t.cfg.strategy Strategy.Total) then begin
-          t.messages <- t.messages + 1;
-          t.shipped_copies <-
-            t.shipped_copies + Txn_state.current_copies (txn_state t w)
-        end;
-        m.last_site <- s
-      end;
-      schedule t w)
+      match t.faults with
+      | Some _ when t.down.(site_of t e) ->
+          (* decided in memory that died with the site; the rebuild will
+             purge the row and the waiter's probe re-requests *)
+          t.msgs_lost <- t.msgs_lost + 1
+      | Some f when site_of t e <> (meta t w).home -> send_grant t f w e
+      | _ -> notify_grant t w e)
     grants
 
-let release_lock t id e =
-  if site_of t e <> (meta t id).home then t.messages <- t.messages + 1;
+(* Table-side release plus propagation; no message accounting. *)
+let do_release t id e =
   let grants = Lock_table.release t.locks id e in
   process_grants t (List.map (fun (w, m) -> (w, m, e)) grants);
   refresh_waiters t e
+
+let release_lock t id e =
+  if site_of t e <> (meta t id).home then t.messages <- t.messages + 1;
+  do_release t id e
+
+let transmit_release t f id e ~attempt =
+  t.messages <- t.messages + 1;
+  let to_ = (Fault.plan f).Fault.timeouts in
+  if t.down.(site_of t e) then
+    (* swallowed by the dead site; the row dies in the rebuild *)
+    t.msgs_lost <- t.msgs_lost + 1
+  else
+    match Fault.roll f ~tick:t.tick with
+    | Fault.Deliver d -> push_release t ~at:(t.tick + 1 + d) (Release_arrive (id, e))
+    | Fault.Duplicate (d1, d2) ->
+        t.msgs_duplicated <- t.msgs_duplicated + 1;
+        push_release t ~at:(t.tick + 1 + d1) (Release_arrive (id, e));
+        push_release t ~at:(t.tick + 1 + d2) (Release_arrive (id, e))
+    | Fault.Lose ->
+        t.msgs_lost <- t.msgs_lost + 1;
+        push_release t
+          ~at:(t.tick + to_.Fault.request_timeout + Fault.backoff to_ ~attempt)
+          (Release_retry (id, e, attempt + 1))
+
+(* Unlock/commit releases travel as (retried, idempotent) messages under
+   a fault plan. Rollback releases never do: a transaction that rolled
+   back re-executes and may re-request the same entity, and an in-flight
+   release racing that re-request could destroy the fresh lock — so
+   rollback is modelled as a reliable coordination round (which is what
+   the per-site message accounting below already charges for). *)
+let async_release t id e =
+  match t.faults with
+  | Some f when site_of t e <> (meta t id).home ->
+      transmit_release t f id e ~attempt:0
+  | _ -> release_lock t id e
+
+let release_after_rollback t id e =
+  if t.down.(site_of t e) then ()
+    (* the site's table fragment is gone; recovery purges the row *)
+  else release_lock t id e
+
+let transmit_request t f id mode e =
+  t.messages <- t.messages + 1;
+  if t.down.(site_of t e) then t.msgs_lost <- t.msgs_lost + 1
+  else
+    match Fault.roll f ~tick:t.tick with
+    | Fault.Deliver d -> push t ~at:(t.tick + 1 + d) (Req_arrive (id, mode, e))
+    | Fault.Duplicate (d1, d2) ->
+        t.msgs_duplicated <- t.msgs_duplicated + 1;
+        push t ~at:(t.tick + 1 + d1) (Req_arrive (id, mode, e));
+        push t ~at:(t.tick + 1 + d2) (Req_arrive (id, mode, e))
+    | Fault.Lose -> t.msgs_lost <- t.msgs_lost + 1
+
+let send_request t f id mode e =
+  let m = meta t id in
+  m.pending <- Some (mode, e);
+  m.attempt <- 0;
+  transmit_request t f id mode e;
+  push t ~at:(t.tick + (timeouts t).Fault.request_timeout) (Req_timeout (id, e))
 
 (* --- Rollback application (shared with both detection modes) --------- *)
 
@@ -211,11 +383,29 @@ let cancel_pending_request t v =
       refresh_waiters t e
   | None -> ()
 
+let forget_wait t v =
+  cancel_pending_request t v;
+  let m = meta t v in
+  (match m.pending with
+  | Some (_, e)
+    when Lock_table.holds t.locks v e <> None
+         && Txn_state.holds (txn_state t v) e = None ->
+      (* Granted table-side but the reply never reached us (lost or still
+         in flight) and now we are rolling back: the lock would leak —
+         hand it straight back. A down site's fragment is reconciled by
+         its rebuild instead. *)
+      History.discard t.hist v e;
+      if not t.down.(site_of t e) then release_lock t v e
+  | Some _ | None -> ());
+  Waits_for.clear_wait t.wfg v;
+  Hashtbl.remove t.blocked_since v;
+  m.pending <- None;
+  m.attempt <- 0
+
 let apply_rollback t v entities =
   let ts = txn_state t v in
   let held, _queued = split_arcs ts entities in
-  cancel_pending_request t v;
-  Waits_for.clear_wait t.wfg v;
+  forget_wait t v;
   (match held with
   | [] -> ()
   | es ->
@@ -238,9 +428,25 @@ let apply_rollback t v entities =
       List.iter
         (fun e ->
           History.discard t.hist v e;
-          release_lock t v e)
+          release_after_rollback t v e)
         released);
-  Heap.push t.events ~priority:(t.tick + 1 + t.cfg.restart_delay) v
+  push t ~at:(t.tick + 1 + t.cfg.restart_delay) (Exec v)
+
+(* Full restart: site-crash of the home site, or a degraded-mode timeout
+   abort while the global detector is out. *)
+let restart_txn t id ~resume_at =
+  let ts = txn_state t id in
+  let m = meta t id in
+  forget_wait t id;
+  let released = Txn_state.rollback_to ts Txn_state.restart_target in
+  t.rollback_events <- t.rollback_events + 1;
+  List.iter
+    (fun e ->
+      History.discard t.hist id e;
+      release_after_rollback t id e)
+    released;
+  m.last_site <- m.home;
+  push t ~at:resume_at (Exec id)
 
 (* --- Cycle detection ------------------------------------------------- *)
 
@@ -296,10 +502,28 @@ let blocked_txns t =
   List.filter (fun id -> Waits_for.is_blocked t.wfg id) (Waits_for.txns t.wfg)
 
 (* Global detector: every site ships its waits-for edges to a coordinator
-   which resolves everything it sees, local or not. *)
+   which resolves everything it sees, local or not. Under a fault plan a
+   site's shipment can be lost (and down sites ship nothing), so the
+   coordinator only acts on cycles all of whose arcs it can see; missed
+   cycles survive to the next round. *)
 let run_global_detection t =
   t.detection_rounds <- t.detection_rounds + 1;
-  t.messages <- t.messages + t.cfg.n_sites;
+  let cycle_visible =
+    match t.faults with
+    | None ->
+        t.messages <- t.messages + t.cfg.n_sites;
+        fun _ -> true
+    | Some f ->
+        let vis =
+          Array.init t.cfg.n_sites (fun s ->
+              if t.down.(s) then false
+              else begin
+                t.messages <- t.messages + 1;
+                Fault.shipment_arrives f ~tick:t.tick
+              end)
+        in
+        fun cycle -> List.for_all (fun (_, e) -> vis.(site_of t e)) cycle
+  in
   let round = ref 0 in
   let rec fixpoint () =
     incr round;
@@ -307,7 +531,7 @@ let run_global_detection t =
     let site =
       List.find_map
         (fun b ->
-          match resolver_cycles t b with
+          match List.filter cycle_visible (resolver_cycles t b) with
           | [] -> None
           | cycles -> Some (b, cycles))
         (blocked_txns t)
@@ -320,6 +544,20 @@ let run_global_detection t =
         fixpoint ()
   in
   fixpoint ()
+
+(* Detector outage: no global rounds run; long-blocked transactions are
+   timeout-aborted instead (graceful degradation — cross-site cycles
+   cannot be seen, so break them blindly but fairly). *)
+let degrade t =
+  let to_ = timeouts t in
+  List.iter
+    (fun b ->
+      match Hashtbl.find_opt t.blocked_since b with
+      | Some since when t.tick - since >= to_.Fault.degraded_timeout ->
+          t.timeout_aborts <- t.timeout_aborts + 1;
+          restart_txn t b ~resume_at:(t.tick + 1 + t.cfg.restart_delay)
+      | Some _ | None -> ())
+    (List.sort compare (blocked_txns t))
 
 (* Wound-wait: an older requester wounds every younger blocker — holders
    roll back to release the entity, younger queued requests requeue
@@ -341,40 +579,275 @@ let wound_wait t requester e blockers =
       end)
     blockers
 
+(* --- Site crash and recovery ----------------------------------------- *)
+
+let partial_crash_rollback t id ~site =
+  let ts = txn_state t id in
+  let on_site =
+    List.filter_map
+      (fun (e, _, _) -> if site_of t e = site then Some e else None)
+      (Txn_state.locks_held ts)
+  in
+  if on_site <> [] then begin
+    forget_wait t id;
+    let target =
+      List.fold_left
+        (fun acc e -> min acc (Txn_state.rollback_target ts e))
+        (Txn_state.lock_index ts)
+        on_site
+    in
+    let released = Txn_state.rollback_to ts target in
+    t.rollback_events <- t.rollback_events + 1;
+    List.iter
+      (fun e ->
+        History.discard t.hist id e;
+        release_after_rollback t id e)
+      released;
+    push t ~at:(t.tick + 1 + t.cfg.restart_delay) (Exec id)
+  end
+
+let crash_site t s downtime =
+  if not t.down.(s) then begin
+    t.site_crashes <- t.site_crashes + 1;
+    t.down.(s) <- true;
+    t.up_at.(s) <- t.tick + downtime;
+    push t ~at:(t.tick + downtime) (Recover s);
+    let ids =
+      Hashtbl.fold (fun id _ acc -> id :: acc) t.txns [] |> List.sort compare
+    in
+    (* Coordinators at the site die with it: every growing transaction
+       homed there restarts from scratch once the site is back. Shrinking
+       transactions are past their commit point and immune — their state
+       survives in the recovery log. *)
+    List.iter
+      (fun id ->
+        let ts = txn_state t id in
+        if Txn_state.phase ts = Txn_state.Growing && (meta t id).home = s then
+          restart_txn t id ~resume_at:(t.up_at.(s) + 1 + t.cfg.restart_delay))
+      ids;
+    (* Remote transactions lose whatever they hold at the site: roll each
+       back (per strategy) to its last state not touching it. *)
+    List.iter
+      (fun id ->
+        let ts = txn_state t id in
+        if Txn_state.phase ts = Txn_state.Growing && (meta t id).home <> s then
+          partial_crash_rollback t id ~site:s)
+      ids
+  end
+
+(* Recovery rebuilds the site's lock-table fragment from surviving
+   transaction state: queued requests died with the site (their owners
+   retransmit on probe timeout), and holder rows not backed by a live
+   transaction that still holds the entity are purged. Skipping this —
+   plan.rebuild_locks = false — leaves phantom holders that block every
+   later requester forever; the chaos harness exists to catch exactly
+   that kind of recovery bug. *)
+let rebuild_site_locks t s =
+  List.iter
+    (fun e ->
+      if site_of t e = s then begin
+        (* tail-first, so removing one waiter never grants another *)
+        List.iter
+          (fun (w, _) ->
+            (match Lock_table.cancel_wait t.locks w with
+            | Some (e', grants) ->
+                process_grants t
+                  (List.map (fun (x, m) -> (x, m, e')) grants);
+                refresh_waiters t e'
+            | None -> ());
+            Waits_for.clear_wait t.wfg w;
+            Hashtbl.remove t.blocked_since w)
+          (List.rev (Lock_table.waiters t.locks e));
+        List.iter
+          (fun (h, _) ->
+            let stale =
+              match Hashtbl.find_opt t.txns h with
+              | None -> true
+              | Some ts ->
+                  Txn_state.phase ts = Txn_state.Committed
+                  || Txn_state.holds ts e = None
+            in
+            if stale then begin
+              t.purged_locks <- t.purged_locks + 1;
+              History.discard t.hist h e;
+              let grants = Lock_table.release t.locks h e in
+              process_grants t (List.map (fun (w, m) -> (w, m, e)) grants)
+            end)
+          (Lock_table.holders t.locks e);
+        refresh_waiters t e
+      end)
+    (Store.entities t.store)
+
+let recover_site t s =
+  t.down.(s) <- false;
+  t.site_recoveries <- t.site_recoveries + 1;
+  match t.faults with
+  | Some f when not (Fault.plan f).Fault.rebuild_locks -> ()
+  | _ -> rebuild_site_locks t s
+
+(* --- Message handlers ------------------------------------------------- *)
+
+let req_arrive t id mode e =
+  if t.down.(site_of t e) then ()
+  else
+    let m = meta t id in
+    match m.pending with
+    | Some (mode', e') when String.equal e' e && Lock_mode.equal mode' mode -> (
+        let f = match t.faults with Some f -> f | None -> assert false in
+        match Lock_table.holds t.locks id e with
+        | Some held
+          when not
+                 (Lock_mode.equal held Lock_mode.Shared
+                 && Lock_mode.equal mode Lock_mode.Exclusive) ->
+            (* a retransmission of a request already granted: the grant
+               reply was lost — resend it (idempotent on arrival) *)
+            send_grant t f id e
+        | _ ->
+            if Lock_table.waiting_for t.locks id <> None then
+              () (* already queued: duplicate arrival *)
+            else (
+              match Lock_table.request t.locks id mode e with
+              | Lock_table.Granted ->
+                  History.note_grant t.hist ~tick:t.tick id e mode;
+                  refresh_waiters t e;
+                  send_grant t f id e
+              | Lock_table.Blocked holders -> (
+                  Waits_for.set_wait t.wfg ~waiter:id ~holders e;
+                  Hashtbl.replace t.blocked_since id t.tick;
+                  match t.cfg.detection with
+                  | Wound_wait -> wound_wait t id e holders
+                  | Local_then_global _ ->
+                      if Waits_for.would_deadlock t.wfg ~waiter:id ~holders
+                      then resolve_local t id 0)))
+    | Some _ | None -> () (* the transaction moved on; stale request *)
+
+let req_timeout t id e =
+  match t.faults with
+  | None -> ()
+  | Some f -> (
+      let m = meta t id in
+      match m.pending with
+      | Some (mode, e') when String.equal e' e ->
+          let to_ = (Fault.plan f).Fault.timeouts in
+          if t.down.(site_of t e) then
+            (* the site cannot answer a probe; any table row we might see
+               is dead memory — stay parked until after its rebuild *)
+            push t ~at:(t.tick + to_.Fault.request_timeout)
+              (Req_timeout (id, e))
+          else
+          let satisfied =
+            match Lock_table.holds t.locks id e with
+            | Some Lock_mode.Exclusive -> true
+            | Some Lock_mode.Shared -> Lock_mode.equal mode Lock_mode.Shared
+            | None -> false
+          in
+          if satisfied then begin
+            (* grant reply lost: the probe rediscovers the lock *)
+            Waits_for.clear_wait t.wfg id;
+            Hashtbl.remove t.blocked_since id;
+            notify_grant t id e
+          end
+          else if Lock_table.waiting_for t.locks id <> None then
+            (* queued at the site: stay parked, keep probing *)
+            push t ~at:(t.tick + to_.Fault.request_timeout) (Req_timeout (id, e))
+          else begin
+            (* the request (or our queue entry, if the site crashed)
+               vanished: retransmit with bounded exponential backoff *)
+            m.attempt <- m.attempt + 1;
+            t.retransmissions <- t.retransmissions + 1;
+            transmit_request t f id mode e;
+            push t
+              ~at:
+                (t.tick + to_.Fault.request_timeout
+                + Fault.backoff to_ ~attempt:m.attempt)
+              (Req_timeout (id, e))
+          end
+      | Some _ | None -> () (* stale probe *))
+
+let grant_arrive t id e =
+  match Lock_table.holds t.locks id e with
+  | None -> () (* released or purged before the reply landed *)
+  | Some held -> (
+      let m = meta t id in
+      let ts = txn_state t id in
+      match m.pending with
+      | Some (mode, e') when String.equal e' e ->
+          let satisfies =
+            match held with
+            | Lock_mode.Exclusive -> true
+            | Lock_mode.Shared -> Lock_mode.equal mode Lock_mode.Shared
+          in
+          if satisfies then begin
+            Waits_for.clear_wait t.wfg id;
+            Hashtbl.remove t.blocked_since id;
+            notify_grant t id e
+          end
+      | Some _ | None ->
+          if Txn_state.holds ts e <> None then
+            () (* duplicate of an accepted grant *)
+          else begin
+            (* granted to a transaction that rolled back meanwhile: hand
+               the lock straight back so it cannot leak *)
+            History.discard t.hist id e;
+            release_lock t id e
+          end)
+
+let release_arrive t id e =
+  if t.down.(site_of t e) then ()
+    (* the site died again before the release landed; rebuild reconciles *)
+  else
+    match Lock_table.holds t.locks id e with
+    | None -> () (* duplicate delivery, or the row was purged *)
+    | Some _ -> do_release t id e
+
+let release_retry t id e attempt =
+  match t.faults with
+  | None -> ()
+  | Some f ->
+      if Lock_table.holds t.locks id e = None then ()
+      else begin
+        t.retransmissions <- t.retransmissions + 1;
+        transmit_release t f id e ~attempt
+      end
+
 (* --- Transaction stepping -------------------------------------------- *)
 
 let handle_lock_request t id mode e =
   let ts = txn_state t id in
   let m = meta t id in
-  if site_of t e <> m.home then t.messages <- t.messages + 2;
-  match Lock_table.request t.locks id mode e with
-  | Lock_table.Granted ->
-      History.note_grant t.hist ~tick:t.tick id e mode;
-      Txn_state.lock_granted ts;
-      let s = site_of t e in
-      if s <> m.last_site then begin
-        if not (Strategy.equal t.cfg.strategy Strategy.Total) then begin
-          t.messages <- t.messages + 1;
-          t.shipped_copies <- t.shipped_copies + Txn_state.current_copies ts
-        end;
-        m.last_site <- s
-      end;
-      refresh_waiters t e;
-      schedule t id
-  | Lock_table.Blocked holders -> (
-      Waits_for.set_wait t.wfg ~waiter:id ~holders e;
-      match t.cfg.detection with
-      | Wound_wait -> wound_wait t id e holders
-      | Local_then_global _ ->
-          if Waits_for.would_deadlock t.wfg ~waiter:id ~holders then
-            resolve_local t id 0)
+  match t.faults with
+  | Some f when site_of t e <> m.home -> send_request t f id mode e
+  | _ -> (
+      if site_of t e <> m.home then t.messages <- t.messages + 2;
+      match Lock_table.request t.locks id mode e with
+      | Lock_table.Granted ->
+          History.note_grant t.hist ~tick:t.tick id e mode;
+          Txn_state.lock_granted ts;
+          let s = site_of t e in
+          if s <> m.last_site then begin
+            if not (Strategy.equal t.cfg.strategy Strategy.Total) then begin
+              t.messages <- t.messages + 1;
+              t.shipped_copies <- t.shipped_copies + Txn_state.current_copies ts
+            end;
+            m.last_site <- s
+          end;
+          refresh_waiters t e;
+          schedule t id
+      | Lock_table.Blocked holders -> (
+          Waits_for.set_wait t.wfg ~waiter:id ~holders e;
+          Hashtbl.replace t.blocked_since id t.tick;
+          match t.cfg.detection with
+          | Wound_wait -> wound_wait t id e holders
+          | Local_then_global _ ->
+              if Waits_for.would_deadlock t.wfg ~waiter:id ~holders then
+                resolve_local t id 0))
 
 let handle_unlock t id =
   let ts = txn_state t id in
   let e, final = Txn_state.perform_unlock ts in
   (match final with Some v -> Store.install t.store e v | None -> ());
   History.note_release t.hist ~tick:t.tick id e;
-  release_lock t id e;
+  async_release t id e;
   schedule t id
 
 let handle_commit t id =
@@ -383,13 +856,22 @@ let handle_commit t id =
   List.iter (fun (e, v) -> Store.install t.store e v) finals;
   let held = Lock_table.held_by t.locks id in
   List.iter (fun (e, _) -> History.note_release t.hist ~tick:t.tick id e) held;
-  let grants = Lock_table.release_all t.locks id in
   let home = (meta t id).home in
-  List.iter
-    (fun (e, _) -> if site_of t e <> home then t.messages <- t.messages + 1)
-    held;
-  process_grants t grants;
-  List.iter (fun (e, _) -> refresh_waiters t e) held;
+  (match t.faults with
+  | None ->
+      let grants = Lock_table.release_all t.locks id in
+      List.iter
+        (fun (e, _) -> if site_of t e <> home then t.messages <- t.messages + 1)
+        held;
+      process_grants t grants;
+      List.iter (fun (e, _) -> refresh_waiters t e) held
+  | Some f ->
+      (* each remaining lock is released by its own (retried) message *)
+      List.iter
+        (fun (e, _) ->
+          if site_of t e <> home then transmit_release t f id e ~attempt:0
+          else do_release t id e)
+        held);
   Waits_for.remove_txn t.wfg id;
   History.commit_txn t.hist id;
   t.commits <- t.commits + 1
@@ -399,7 +881,12 @@ let exec_one t id =
   match Txn_state.phase ts with
   | Txn_state.Committed -> ()
   | Txn_state.Growing | Txn_state.Shrinking -> (
+      let m = meta t id in
       if Waits_for.is_blocked t.wfg id then ()
+      else if m.pending <> None then () (* awaiting a remote reply *)
+      else if t.down.(m.home) then
+        (* our own site is down: nothing runs until it recovers *)
+        push t ~at:(t.up_at.(m.home) + 1) (Exec id)
       else
         match Txn_state.next_action ts with
         | Txn_state.Need_lock (mode, e) -> handle_lock_request t id mode e
@@ -410,22 +897,37 @@ let exec_one t id =
         | Txn_state.At_end -> handle_commit t id)
 
 let step t =
-  if all_committed t then false
+  if quiescent t then false
   else
     match Heap.pop t.events with
     | None -> raise (Stuck "event queue drained with live transactions")
-    | Some (tick, payload) ->
+    | Some (tick, ev) ->
         if tick > t.cfg.max_ticks then false
         else begin
           t.tick <- max t.tick tick;
-          if payload = detector_event then begin
-            run_global_detection t;
-            match t.cfg.detection with
-            | Local_then_global period ->
-                Heap.push t.events ~priority:(t.tick + period) detector_event
-            | Wound_wait -> ()
-          end
-          else exec_one t payload;
+          (match ev with
+          | Exec id -> exec_one t id
+          | Detector -> (
+              match t.cfg.detection with
+              | Local_then_global period ->
+                  (match t.faults with
+                  | Some f when Fault.in_outage (Fault.plan f) t.tick ->
+                      t.missed_rounds <- t.missed_rounds + 1;
+                      degrade t
+                  | _ -> run_global_detection t);
+                  push t ~at:(t.tick + period) Detector
+              | Wound_wait -> ())
+          | Req_arrive (id, mode, e) -> req_arrive t id mode e
+          | Req_timeout (id, e) -> req_timeout t id e
+          | Grant_arrive (id, e) -> grant_arrive t id e
+          | Release_arrive (id, e) ->
+              t.inflight_releases <- t.inflight_releases - 1;
+              release_arrive t id e
+          | Release_retry (id, e, attempt) ->
+              t.inflight_releases <- t.inflight_releases - 1;
+              release_retry t id e attempt
+          | Crash (s, downtime) -> crash_site t s downtime
+          | Recover s -> recover_site t s);
           true
         end
 
@@ -446,6 +948,14 @@ type stats = {
   messages : int;
   shipped_copies : int;
   detection_rounds : int;
+  site_crashes : int;
+  site_recoveries : int;
+  purged_locks : int;
+  msgs_lost : int;
+  msgs_duplicated : int;
+  retransmissions : int;
+  timeout_aborts : int;
+  missed_rounds : int;
 }
 
 let stats t =
@@ -462,13 +972,26 @@ let stats t =
     messages = t.messages;
     shipped_copies = t.shipped_copies;
     detection_rounds = t.detection_rounds;
+    site_crashes = t.site_crashes;
+    site_recoveries = t.site_recoveries;
+    purged_locks = t.purged_locks;
+    msgs_lost = t.msgs_lost;
+    msgs_duplicated = t.msgs_duplicated;
+    retransmissions = t.retransmissions;
+    timeout_aborts = t.timeout_aborts;
+    missed_rounds = t.missed_rounds;
   }
 
 let pp_stats ppf s =
   Fmt.pf ppf
     "@[<v>ticks: %d@,commits: %d@,deadlocks: %d (local %d, global %d)@,\
      wounds: %d@,rollbacks: %d@,ops lost: %d@,messages: %d@,\
-     shipped copies: %d@,detection rounds: %d@]"
+     shipped copies: %d@,detection rounds: %d@,\
+     crashes: %d (recovered %d, purged locks %d)@,\
+     msgs lost: %d, duplicated: %d, retransmissions: %d@,\
+     timeout aborts: %d, missed detector rounds: %d@]"
     s.ticks s.commits s.deadlocks s.local_deadlocks s.global_deadlocks
     s.wounds s.rollbacks s.ops_lost s.messages s.shipped_copies
-    s.detection_rounds
+    s.detection_rounds s.site_crashes s.site_recoveries s.purged_locks
+    s.msgs_lost s.msgs_duplicated s.retransmissions s.timeout_aborts
+    s.missed_rounds

@@ -25,7 +25,32 @@
     site, and — partial-rollback strategies only — every time a
     transaction's lock stream moves between sites its version bookkeeping
     follows it (messages +1, [shipped_copies] += its current copy count),
-    the overhead Section 3.3 warns about. *)
+    the overhead Section 3.3 warns about.
+
+    {2 Failure model}
+
+    A {!Prb_fault.Fault.plan} in the config turns on the failure regime
+    (DESIGN.md Section 7). With a plan installed, remote lock requests,
+    grant replies, and unlock/commit releases become real messages that
+    can be lost, duplicated or delayed; requesters keep a timeout probe
+    alive and retransmit with bounded exponential backoff, and every
+    handler is idempotent, so duplicates and stale replies are harmless.
+    Sites crash and recover: a crash fully restarts every growing
+    transaction homed there and partially rolls back (per strategy, to
+    the last state not touching the site) every growing remote holder of
+    its entities; shrinking transactions are immune (past their commit
+    point — Section 2's no-rollback-after-unlock rule). On recovery the
+    site's lock-table fragment is rebuilt: queued requests are dropped
+    (their owners retransmit on probe) and holder rows not backed by a
+    surviving transaction are purged. While the global detector is in an
+    outage window the scheduler degrades to per-transaction timeout-abort
+    of long-blocked transactions. Rollback-released locks are always
+    released synchronously (a reliable coordination round, matching the
+    seed's per-site message accounting) — an asynchronous release could
+    race with the victim's own re-request of the same entity.
+
+    Runs remain deterministic in (config seed, fault plan): replaying the
+    same pair reproduces the run bit-for-bit. *)
 
 type detection =
   | Local_then_global of int
@@ -41,16 +66,19 @@ type config = {
   max_ticks : int;
   cycle_limit : int;
   restart_delay : int;
+  faults : Prb_fault.Fault.plan option;
+      (** [None] (default) is the failure-free world; [Some plan] enables
+          site crashes, message faults and detector outages *)
 }
 
 val default_config : config
-(** 4 sites, [Local_then_global 50], [Sdg], and — unlike the centralised
-    engine — the [Youngest] victim policy: periodic global detection
-    works from stale snapshots without a meaningful requester, and the
-    cost-optimising policies then re-victimise the same cheap transaction
-    every round (Figure 2's pathology resurrected by staleness; measured
-    in E10b). Age-based selection converges, which is why the distributed
-    literature the paper cites uses timestamps. *)
+(** 4 sites, [Local_then_global 50], [Sdg], no faults, and — unlike the
+    centralised engine — the [Youngest] victim policy: periodic global
+    detection works from stale snapshots without a meaningful requester,
+    and the cost-optimising policies then re-victimise the same cheap
+    transaction every round (Figure 2's pathology resurrected by
+    staleness; measured in E10b). Age-based selection converges, which is
+    why the distributed literature the paper cites uses timestamps. *)
 
 type t
 
@@ -75,6 +103,9 @@ val txn_state : t -> int -> Prb_rollback.Txn_state.t
 val history : t -> Prb_history.History.t
 val site_of : t -> Prb_storage.Store.entity -> int
 
+val site_up : t -> int -> bool
+(** False while the site is crashed (always true without a fault plan). *)
+
 val waits_for : t -> Prb_wfg.Waits_for.t
 (** Live view — do not mutate. *)
 
@@ -95,6 +126,15 @@ type stats = {
       (** version-bookkeeping volume that chased moving transactions —
           zero under [Total] *)
   detection_rounds : int;
+  (* failure-regime counters; all zero without a fault plan *)
+  site_crashes : int;
+  site_recoveries : int;
+  purged_locks : int;  (** stale rows dropped by lock-table rebuilds *)
+  msgs_lost : int;
+  msgs_duplicated : int;
+  retransmissions : int;
+  timeout_aborts : int;  (** degraded-mode aborts while the detector was out *)
+  missed_rounds : int;  (** detection rounds skipped by detector outages *)
 }
 
 val stats : t -> stats

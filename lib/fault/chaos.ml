@@ -1,0 +1,215 @@
+module Fault = Prb_fault.Fault
+module Store = Prb_storage.Store
+module Value = Prb_storage.Value
+module Program = Prb_txn.Program
+module Expr = Prb_txn.Expr
+module Rng = Prb_util.Rng
+module Lock_table = Prb_lock.Lock_table
+module History = Prb_history.History
+module Scheduler = Prb_core.Scheduler
+module D = Prb_distrib.Dist_scheduler
+
+type engine = Centralized | Distributed
+
+type report = {
+  engine : engine;
+  seed : int;
+  plan : Fault.plan;
+  commits : int;
+  ticks : int;
+  faults_seen : int;
+  violations : string list;
+}
+
+let engine_name = function
+  | Centralized -> "centralized"
+  | Distributed -> "distributed"
+
+let pp_report ppf r =
+  Fmt.pf ppf "@[<v>%s seed %d: %d commits in %d ticks, %d faults — %s@,%a@]"
+    (engine_name r.engine) r.seed r.commits r.ticks r.faults_seen
+    (if r.violations = [] then "ok"
+     else String.concat "; " r.violations)
+    Fault.pp_plan r.plan
+
+let failures = List.filter (fun r -> r.violations <> [])
+
+(* --- The workload: bank transfers, sum of balances conserved --------- *)
+
+let n_accounts = 12
+let n_txns = 10
+let balance = 100
+let n_sites = 3
+let max_ticks = 50_000
+
+let accounts = List.init n_accounts (fun i -> Printf.sprintf "a%02d" i)
+
+let fresh_store () =
+  Store.of_list (List.map (fun a -> (a, Value.int balance)) accounts)
+
+let conserved =
+  Store.Constraint.sum_preserved ~name:"balance sum" accounts
+    ~expected:(n_accounts * balance)
+
+(* Transfers lock their two accounts in draw order, not canonical order —
+   deadlocks are the point, not a bug, here. *)
+let transfer_programs ~seed =
+  let rng = Rng.make (0x7472616e lxor seed) in
+  List.init n_txns (fun k ->
+      let i = Rng.int rng n_accounts in
+      let j = (i + 1 + Rng.int rng (n_accounts - 1)) mod n_accounts in
+      let src = List.nth accounts i and dst = List.nth accounts j in
+      let amt = 1 + Rng.int rng 10 in
+      Program.make
+        ~name:(Printf.sprintf "x%02d" k)
+        ~locals:[ ("s", Value.int 0); ("d", Value.int 0) ]
+        [
+          Program.lock_x src;
+          Program.lock_x dst;
+          Program.read src "s";
+          Program.read dst "d";
+          Program.write src Expr.(var "s" - int amt);
+          Program.write dst Expr.(var "d" + int amt);
+        ])
+
+(* --- One execution, one fingerprint ---------------------------------- *)
+
+(* Everything an invariant check or a replay comparison needs. *)
+type execution = {
+  x_commits : int;
+  x_ticks : int;
+  x_faults : int;
+  x_all_committed : bool;
+  x_serializable : bool;
+  x_residual_locks : (string * int) list;  (** entity, holders+waiters *)
+  x_store : (Store.entity * Value.t) list;
+  x_sum_ok : bool;
+  x_stuck : string option;
+}
+
+let residual_locks locks =
+  List.filter_map
+    (fun e ->
+      match
+        List.length (Lock_table.holders locks e)
+        + List.length (Lock_table.waiters locks e)
+      with
+      | 0 -> None
+      | n -> Some (e, n))
+    accounts
+
+let exec_centralized ~seed plan =
+  let store = fresh_store () in
+  let config =
+    { Scheduler.default_config with seed; max_ticks; faults = Some plan }
+  in
+  let sched = Scheduler.create ~config store in
+  List.iter (fun p -> ignore (Scheduler.submit sched p))
+    (transfer_programs ~seed);
+  let stuck =
+    try
+      Scheduler.run sched;
+      None
+    with Scheduler.Stuck msg -> Some msg
+  in
+  let s = Scheduler.stats sched in
+  {
+    x_commits = s.Scheduler.commits;
+    x_ticks = s.Scheduler.ticks;
+    x_faults = s.Scheduler.txn_crashes;
+    x_all_committed = Scheduler.all_committed sched;
+    x_serializable = History.serializable (Scheduler.history sched);
+    x_residual_locks = residual_locks (Scheduler.lock_table sched);
+    x_store = Store.snapshot store;
+    x_sum_ok = Store.Constraint.holds conserved store;
+    x_stuck = stuck;
+  }
+
+let exec_distributed ~seed plan =
+  let store = fresh_store () in
+  let config =
+    { D.default_config with n_sites; seed; max_ticks; faults = Some plan }
+  in
+  let sched = D.create config store in
+  List.iteri
+    (fun k p -> ignore (D.submit sched ~home:(k mod n_sites) p))
+    (transfer_programs ~seed);
+  let stuck =
+    try
+      D.run sched;
+      None
+    with D.Stuck msg -> Some msg
+  in
+  let s = D.stats sched in
+  {
+    x_commits = s.D.commits;
+    x_ticks = s.D.ticks;
+    x_faults =
+      s.D.msgs_lost + s.D.msgs_duplicated + s.D.site_crashes
+      + s.D.missed_rounds;
+    x_all_committed = D.all_committed sched;
+    x_serializable = History.serializable (D.history sched);
+    x_residual_locks = residual_locks (D.lock_table sched);
+    x_store = Store.snapshot store;
+    x_sum_ok = Store.Constraint.holds conserved store;
+    x_stuck = stuck;
+  }
+
+let execute engine ~seed plan =
+  match engine with
+  | Centralized -> exec_centralized ~seed plan
+  | Distributed -> exec_distributed ~seed plan
+
+let check x =
+  let v = ref [] in
+  let fail fmt = Printf.ksprintf (fun m -> v := m :: !v) fmt in
+  (match x.x_stuck with
+  | Some msg -> fail "stuck: %s" msg
+  | None -> ());
+  if not x.x_all_committed then
+    fail "stuck transactions: only %d/%d committed" x.x_commits n_txns;
+  if not x.x_serializable then fail "committed history not serializable";
+  if not x.x_sum_ok then fail "balance sum not conserved";
+  (* Residual rows are orphans only once every owner is gone. *)
+  if x.x_all_committed && x.x_residual_locks <> [] then
+    fail "orphaned locks on %s"
+      (String.concat ","
+         (List.map (fun (e, n) -> Printf.sprintf "%s(%d)" e n)
+            x.x_residual_locks));
+  List.rev !v
+
+let same_execution a b =
+  a.x_commits = b.x_commits && a.x_ticks = b.x_ticks
+  && a.x_faults = b.x_faults
+  && a.x_residual_locks = b.x_residual_locks
+  && List.for_all2
+       (fun (e1, v1) (e2, v2) -> String.equal e1 e2 && Value.equal v1 v2)
+       a.x_store b.x_store
+
+let run_one engine ~seed ~plan =
+  let x = execute engine ~seed plan in
+  let x' = execute engine ~seed plan in
+  let violations =
+    check x
+    @ if same_execution x x' then [] else [ "replay diverged from first run" ]
+  in
+  {
+    engine;
+    seed;
+    plan;
+    commits = x.x_commits;
+    ticks = x.x_ticks;
+    faults_seen = x.x_faults;
+    violations;
+  }
+
+let sweep ?(horizon = 400) ~seeds () =
+  List.concat_map
+    (fun seed ->
+      let central = Fault.random ~seed ~horizon () in
+      let distrib = Fault.random ~n_sites ~seed ~horizon () in
+      [
+        run_one Centralized ~seed ~plan:central;
+        run_one Distributed ~seed ~plan:distrib;
+      ])
+    (List.init seeds (fun s -> s))
