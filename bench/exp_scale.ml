@@ -1,0 +1,23 @@
+(* E13: scaling sweep — throughput (commits per wall-clock second),
+   detection-time share and allocation volume at txns ∈ {100, 1k, 5k} ×
+   contention ∈ {low, high}, on both engines. Writes BENCH_scale.json in
+   the current directory so the perf trajectory is machine-readable
+   across PRs (see EXPERIMENTS.md E13). *)
+
+module Scale = Prb_bench_scale.Scale
+
+let json_path = "BENCH_scale.json"
+
+let run () =
+  Common.header "E13" "scaling sweep (throughput, detection share, allocs)";
+  let quick = !Common.quick in
+  let points = Scale.sweep ~quick () in
+  Scale.print_table points;
+  Scale.write_json ~path:json_path ~quick points;
+  Common.note "wrote %s (%d points%s)" json_path (List.length points)
+    (if quick then ", quick mode" else "");
+  Common.note
+    "low contention scales the database with the transaction count\n\
+     (bookkeeping-bound); high contention pins a 64-entity hot set so\n\
+     waits-for maintenance and deadlock detection dominate — the regime\n\
+     where the indexed lock table and early-exit detection pay off."

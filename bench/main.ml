@@ -17,6 +17,7 @@ let sections =
     ("E9", "three-phase structure", Exp_structure.run);
     ("E10", "distributed systems", Exp_distrib.run);
     ("E12", "fault injection and recovery", Exp_faults.run);
+    ("E13", "scaling sweep (writes BENCH_scale.json)", Exp_scale.run);
     ("MICRO", "hot-path micro-benchmarks", Micro.run);
   ]
 

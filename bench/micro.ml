@@ -34,6 +34,53 @@ let bench_would_deadlock =
   Test.make ~name:"would_deadlock (40-txn chain)"
     (Staged.stage (fun () -> Waits_for.would_deadlock g ~waiter:40 ~holders:[ 0 ]))
 
+(* Multi-holder deadlock check on a long chain: one multi-source DFS with
+   a shared visited set, where the naive form paid one full reachability
+   pass per holder. *)
+let bench_would_deadlock_multi =
+  let g = Waits_for.create () in
+  for i = 0 to 1000 do
+    Waits_for.add_txn g i
+  done;
+  for i = 0 to 999 do
+    Waits_for.set_wait g ~waiter:i ~holders:[ i + 1 ] "e"
+  done;
+  Test.make ~name:"would_deadlock (1k chain, 8 holders)"
+    (Staged.stage (fun () ->
+         Waits_for.would_deadlock g ~waiter:0
+           ~holders:[ 100; 200; 300; 400; 500; 600; 700; 800 ]))
+
+(* Commit-path held-locks lookup: O(locks held) via the per-transaction
+   index, independent of how many entries the table has accumulated. *)
+let bench_held_by =
+  let t = Prb_lock.Lock_table.create () in
+  let mode = Prb_txn.Lock_mode.Exclusive in
+  for i = 0 to 4999 do
+    ignore (Prb_lock.Lock_table.request t 1 mode (Printf.sprintf "a%d" i));
+    ignore (Prb_lock.Lock_table.request t 2 mode (Printf.sprintf "b%d" i))
+  done;
+  ignore (Prb_lock.Lock_table.request t 3 mode "z1");
+  ignore (Prb_lock.Lock_table.request t 3 mode "z2");
+  ignore (Prb_lock.Lock_table.request t 3 mode "z3");
+  Test.make ~name:"held_by (3 held, 10k-entry table)"
+    (Staged.stage (fun () -> Prb_lock.Lock_table.held_by t 3))
+
+(* The dirty-set resolution fixpoint end to end: a small high-contention
+   run whose deadlock resolutions dominate the tick loop. *)
+let bench_fixpoint =
+  let params =
+    {
+      Prb_workload.Generator.default_params with
+      n_entities = 12;
+      zipf_theta = 0.9;
+      min_locks = 3;
+      max_locks = 6;
+    }
+  in
+  Test.make ~name:"resolution fixpoint (20-txn contended run)"
+    (Staged.stage (fun () ->
+         Prb_sim.Sim.run_generated ~params ~seed:5 ~n_txns:20 ()))
+
 let bench_cycles_through =
   let g = Waits_for.create () in
   (* figure-3-like fan: requester waits 6 shared holders, each waits back *)
@@ -140,6 +187,9 @@ let run () =
   let tests =
     [
       bench_would_deadlock;
+      bench_would_deadlock_multi;
+      bench_held_by;
+      bench_fixpoint;
       bench_cycles_through;
       bench_history_write;
       bench_txn_execute;

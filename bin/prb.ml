@@ -532,6 +532,52 @@ let chaos_cmd =
       const run_chaos $ chaos_seeds_arg $ chaos_horizon_arg
       $ chaos_verbose_arg)
 
+(* --- prb bench: the E13 scaling sweep --------------------------------- *)
+
+let bench_quick_arg =
+  Arg.(
+    value & flag
+    & info [ "quick" ] ~doc:"Scale the sweep down (100/500 txns instead of \
+                             100/1k/5k).")
+
+let bench_json_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "json" ] ~docv:"FILE"
+        ~doc:
+          "Also write the sweep as machine-readable JSON to $(docv) \
+           (conventionally $(b,BENCH_scale.json) at the repo root, the \
+           file the CI perf gate uploads).")
+
+let run_bench quick json =
+  let module Scale = Prb_bench_scale.Scale in
+  let points = Scale.sweep ~quick () in
+  Scale.print_table points;
+  (match json with
+  | Some path ->
+      Scale.write_json ~path ~quick points;
+      Fmt.pr "wrote %s (%d points)@." path (List.length points)
+  | None -> ());
+  0
+
+let bench_cmd =
+  let doc = "run the E13 scaling benchmark (throughput on both engines)" in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Sweeps transaction count × contention on the centralised and \
+         multi-site engines and reports wall-clock throughput, the share \
+         of time spent in deadlock detection, and allocation volume. With \
+         $(b,--json) the results also land in a JSON file so successive \
+         changes accumulate a comparable perf trajectory.";
+    ]
+  in
+  Cmd.v
+    (Cmd.info "bench" ~doc ~man)
+    Term.(const run_bench $ bench_quick_arg $ bench_json_arg)
+
 (* --- main ------------------------------------------------------------- *)
 
 let () =
@@ -540,4 +586,12 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group info
-          [ sim_cmd; sweep_cmd; distrib_cmd; run_cmd; analyze_cmd; chaos_cmd ]))
+          [
+            sim_cmd;
+            sweep_cmd;
+            distrib_cmd;
+            run_cmd;
+            analyze_cmd;
+            chaos_cmd;
+            bench_cmd;
+          ]))

@@ -1,0 +1,244 @@
+module Table = Prb_util.Table
+module Scheduler = Prb_core.Scheduler
+module Sim = Prb_sim.Sim
+module Strategy = Prb_rollback.Strategy
+module Generator = Prb_workload.Generator
+module D = Prb_distrib.Dist_scheduler
+module Dist_sim = Prb_distrib.Dist_sim
+
+type point = {
+  engine : string;  (* "central" | "distrib" *)
+  txns : int;
+  contention : string;  (* "low" | "high" *)
+  entities : int;
+  theta : float;
+  mpl : int;
+  commits : int;
+  ticks : int;
+  deadlocks : int;
+  rollbacks : int;
+  wall_seconds : float;
+  commits_per_sec : float;
+  detect_seconds : float;
+  detect_share : float;
+  detect_calls : int;
+  allocated_mwords : float;
+}
+
+let seed = 11
+let mpl = 16
+let max_ticks = 10_000_000
+
+(* The two ends of the contention axis. Low contention scales the
+   database with the transaction count (conflicts stay rare, the run
+   stresses table bookkeeping); high contention pins a small hot set so
+   the waits-for machinery dominates — the regime where detection cost
+   rules 2PL throughput. *)
+let params_of ~contention ~txns =
+  let n_entities =
+    match contention with
+    | `Low -> min 20_000 (8 * txns)
+    | `High -> 64
+  in
+  let zipf_theta = match contention with `Low -> 0.0 | `High -> 0.8 in
+  ( n_entities,
+    zipf_theta,
+    {
+      Generator.default_params with
+      n_entities;
+      zipf_theta;
+      read_fraction = 0.3;
+      min_locks = 3;
+      max_locks = 6;
+    } )
+
+let contention_name = function `Low -> "low" | `High -> "high"
+
+(* Allocation across minor and major heaps, in words, ignoring what was
+   merely promoted (counted once in minor). *)
+let allocated_words () =
+  let s = Gc.quick_stat () in
+  s.Gc.minor_words +. s.Gc.major_words -. s.Gc.promoted_words
+
+let measure f =
+  let w0 = allocated_words () in
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  let t1 = Unix.gettimeofday () in
+  let w1 = allocated_words () in
+  (r, t1 -. t0, (w1 -. w0) /. 1e6)
+
+let run_central ~contention ~txns =
+  let n_entities, theta, params = params_of ~contention ~txns in
+  let config =
+    {
+      Sim.scheduler =
+        {
+          Scheduler.default_config with
+          strategy = Strategy.Sdg;
+          seed;
+          max_ticks;
+          clock = Some Unix.gettimeofday;
+        };
+      mpl;
+    }
+  in
+  let r, wall, mwords =
+    measure (fun () -> Sim.run_generated ~config ~params ~seed ~n_txns:txns ())
+  in
+  let s = r.Sim.stats in
+  {
+    engine = "central";
+    txns;
+    contention = contention_name contention;
+    entities = n_entities;
+    theta;
+    mpl;
+    commits = s.Scheduler.commits;
+    ticks = s.Scheduler.ticks;
+    deadlocks = s.Scheduler.deadlocks;
+    rollbacks = s.Scheduler.rollbacks;
+    wall_seconds = wall;
+    commits_per_sec =
+      (if wall > 0.0 then float_of_int s.Scheduler.commits /. wall else nan);
+    detect_seconds = r.Sim.detect_seconds;
+    detect_share = (if wall > 0.0 then r.Sim.detect_seconds /. wall else nan);
+    detect_calls = r.Sim.detect_calls;
+    allocated_mwords = mwords;
+  }
+
+let run_distrib ~contention ~txns =
+  let n_entities, theta, params = params_of ~contention ~txns in
+  let store = Generator.populate params in
+  let programs = Generator.generate params ~seed ~n:txns in
+  let config =
+    {
+      Dist_sim.scheduler =
+        { D.default_config with n_sites = 4; seed; max_ticks };
+      mpl;
+    }
+  in
+  let r, wall, mwords =
+    measure (fun () -> Dist_sim.run ~config ~store programs)
+  in
+  let s = r.Dist_sim.stats in
+  {
+    engine = "distrib";
+    txns;
+    contention = contention_name contention;
+    entities = n_entities;
+    theta;
+    mpl;
+    commits = s.D.commits;
+    ticks = s.D.ticks;
+    deadlocks = s.D.deadlocks;
+    rollbacks = s.D.rollbacks;
+    wall_seconds = wall;
+    commits_per_sec =
+      (if wall > 0.0 then float_of_int s.D.commits /. wall else nan);
+    (* the multi-site engine is not clock-instrumented; its detection
+       cost is visible only through wall time *)
+    detect_seconds = 0.0;
+    detect_share = nan;
+    detect_calls = 0;
+    allocated_mwords = mwords;
+  }
+
+let sweep ?(quick = false) () =
+  let txn_counts = if quick then [ 100; 500 ] else [ 100; 1000; 5000 ] in
+  List.concat_map
+    (fun contention ->
+      List.concat_map
+        (fun txns ->
+          [ run_central ~contention ~txns; run_distrib ~contention ~txns ])
+        txn_counts)
+    [ `Low; `High ]
+
+let print_table points =
+  let table =
+    Table.create
+      ~title:
+        (Printf.sprintf "E13: scaling sweep (mpl %d, seed %d, sdg rollback)"
+           mpl seed)
+      [
+        ("engine", Table.Left);
+        ("contention", Table.Left);
+        ("txns", Table.Right);
+        ("entities", Table.Right);
+        ("commits", Table.Right);
+        ("deadlocks", Table.Right);
+        ("wall s", Table.Right);
+        ("commits/s", Table.Right);
+        ("detect share", Table.Right);
+        ("alloc Mw", Table.Right);
+      ]
+  in
+  List.iter
+    (fun p ->
+      Table.add_row table
+        [
+          p.engine;
+          p.contention;
+          Table.cell_int p.txns;
+          Table.cell_int p.entities;
+          Table.cell_int p.commits;
+          Table.cell_int p.deadlocks;
+          Table.cell_float ~decimals:3 p.wall_seconds;
+          Table.cell_float ~decimals:1 p.commits_per_sec;
+          (if Float.is_nan p.detect_share then "-"
+           else Table.cell_pct p.detect_share);
+          Table.cell_float ~decimals:1 p.allocated_mwords;
+        ])
+    points;
+  Table.print table
+
+(* Hand-rolled JSON: the dependency footprint stays what the repo already
+   has. Floats are printed with enough digits to round-trip. *)
+let json_float f =
+  if Float.is_nan f then "null"
+  else if Float.is_integer f && Float.abs f < 1e15 then
+    Printf.sprintf "%.1f" f
+  else Printf.sprintf "%.6g" f
+
+let point_to_json p =
+  String.concat ""
+    [
+      "    {";
+      Printf.sprintf "\"engine\": %S, " p.engine;
+      Printf.sprintf "\"txns\": %d, " p.txns;
+      Printf.sprintf "\"contention\": %S, " p.contention;
+      Printf.sprintf "\"entities\": %d, " p.entities;
+      Printf.sprintf "\"zipf_theta\": %s, " (json_float p.theta);
+      Printf.sprintf "\"mpl\": %d, " p.mpl;
+      Printf.sprintf "\"commits\": %d, " p.commits;
+      Printf.sprintf "\"ticks\": %d, " p.ticks;
+      Printf.sprintf "\"deadlocks\": %d, " p.deadlocks;
+      Printf.sprintf "\"rollbacks\": %d, " p.rollbacks;
+      Printf.sprintf "\"wall_seconds\": %s, " (json_float p.wall_seconds);
+      Printf.sprintf "\"commits_per_sec\": %s, " (json_float p.commits_per_sec);
+      Printf.sprintf "\"detect_seconds\": %s, " (json_float p.detect_seconds);
+      Printf.sprintf "\"detect_share\": %s, " (json_float p.detect_share);
+      Printf.sprintf "\"detect_calls\": %d, " p.detect_calls;
+      Printf.sprintf "\"allocated_mwords\": %s" (json_float p.allocated_mwords);
+      "}";
+    ]
+
+let to_json ?(quick = false) points =
+  String.concat "\n"
+    ([
+       "{";
+       "  \"experiment\": \"E13\",";
+       "  \"description\": \"throughput scaling sweep: txns x contention, \
+        both engines\",";
+       Printf.sprintf "  \"quick\": %b," quick;
+       Printf.sprintf "  \"seed\": %d," seed;
+       Printf.sprintf "  \"mpl\": %d," mpl;
+       "  \"points\": [";
+     ]
+    @ [ String.concat ",\n" (List.map point_to_json points) ]
+    @ [ "  ]"; "}"; "" ])
+
+let write_json ~path ?(quick = false) points =
+  let oc = open_out path in
+  output_string oc (to_json ~quick points);
+  close_out oc

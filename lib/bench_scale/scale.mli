@@ -1,0 +1,40 @@
+(** The E13 scaling benchmark: a reproducible throughput sweep over
+    transaction count × contention on both engines, reported as a table
+    and as machine-readable JSON ([BENCH_scale.json]) so successive PRs
+    accumulate a performance trajectory.
+
+    Shared by [bench/main.exe -- E13] and [prb bench]. Simulation
+    outcomes (commits, deadlocks, ticks) are deterministic in the baked
+    seed; wall-clock, detection-share and allocation figures are
+    machine-dependent by nature. *)
+
+type point = {
+  engine : string;  (** ["central"] or ["distrib"] *)
+  txns : int;
+  contention : string;  (** ["low"] or ["high"] *)
+  entities : int;
+  theta : float;
+  mpl : int;
+  commits : int;
+  ticks : int;
+  deadlocks : int;
+  rollbacks : int;
+  wall_seconds : float;
+  commits_per_sec : float;  (** throughput, commits per wall-clock second *)
+  detect_seconds : float;
+      (** wall-clock spent in deadlock detection/resolution (central
+          engine only; the multi-site engine is not clock-instrumented) *)
+  detect_share : float;  (** [detect_seconds /. wall_seconds]; [nan] if n/a *)
+  detect_calls : int;
+  allocated_mwords : float;  (** OCaml heap words allocated, in millions *)
+}
+
+val sweep : ?quick:bool -> unit -> point list
+(** Run the full grid: txns ∈ \{100, 1k, 5k\} (quick: \{100, 500\}) ×
+    contention ∈ \{low, high\} × engine ∈ \{central, distrib\}. *)
+
+val print_table : point list -> unit
+
+val to_json : ?quick:bool -> point list -> string
+
+val write_json : path:string -> ?quick:bool -> point list -> unit

@@ -26,6 +26,7 @@ type config = {
   restart_delay : int;
   fair_locking : bool;
   faults : Fault.plan option;
+  clock : (unit -> float) option;
 }
 
 let default_config =
@@ -39,6 +40,7 @@ let default_config =
     restart_delay = 0;
     fair_locking = true;
     faults = None;
+    clock = None;
   }
 
 exception Stuck of string
@@ -80,6 +82,13 @@ type t = {
   mutable txn_crash_events : int;
   crash_counts : (int, int) Hashtbl.t;
       (** crashes suffered per transaction, driving re-admission backoff *)
+  wait_dirty : (int, unit) Hashtbl.t;
+      (** transactions whose waits-for out-edges were (re)installed since
+          the graph was last known acyclic; every cycle passes through one
+          of them, so deadlock resolution seeds its search here instead of
+          rescanning all blocked transactions each round *)
+  mutable detect_seconds : float;
+  mutable detect_calls : int;
   blocked_since : (int, int) Hashtbl.t;
   submit_ticks : (int, int) Hashtbl.t;
   commit_ticks : (int, int) Hashtbl.t;
@@ -113,6 +122,9 @@ let create ?(config = default_config) store =
     prevention_events = 0;
     txn_crash_events = 0;
     crash_counts = Hashtbl.create 8;
+    wait_dirty = Hashtbl.create 16;
+    detect_seconds = 0.0;
+    detect_calls = 0;
     blocked_since = Hashtbl.create 16;
     submit_ticks = Hashtbl.create 64;
     commit_ticks = Hashtbl.create 64;
@@ -164,18 +176,30 @@ let all_committed t = t.commits = Hashtbl.length t.txns
 let waits_for t = t.wfg
 let lock_table t = t.locks
 let history t = t.hist
+let detection_seconds t = t.detect_seconds
+let detection_calls t = t.detect_calls
+let n_blocked_tracked t = Hashtbl.length t.blocked_since
 
 let schedule t id = Heap.push t.events ~priority:(t.tick + 1) (Exec id)
 
+(* Every (re)installation of wait edges goes through here so the dirty
+   set stays a sound overapproximation of "out-edges changed since the
+   graph was last acyclic" — the invariant resolve_deadlocks leans on. *)
+let set_wait t ~waiter ~holders e =
+  Waits_for.set_wait t.wfg ~waiter ~holders e;
+  Hashtbl.replace t.wait_dirty waiter ()
+
 (* After the holder set of [e] changed without a grant, blocked waiters'
-   waits-for edges must track the new holders. *)
+   waits-for edges must track the new holders. O(1) exit when nothing
+   queues on [e]. *)
 let refresh_waiters t e =
-  List.iter
-    (fun (w, _) ->
-      match Lock_table.blockers t.locks w with
-      | [] -> () (* about to be granted by the caller's grant pass *)
-      | holders -> Waits_for.set_wait t.wfg ~waiter:w ~holders e)
-    (Lock_table.waiters t.locks e)
+  if Lock_table.has_waiters t.locks e then
+    List.iter
+      (fun (w, _) ->
+        match Lock_table.blockers t.locks w with
+        | [] -> () (* about to be granted by the caller's grant pass *)
+        | holders -> set_wait t ~waiter:w ~holders e)
+      (Lock_table.waiters t.locks e)
 
 let process_grants t grants =
   List.iter
@@ -303,52 +327,78 @@ let apply_rollback t v entities =
         released);
   Heap.push t.events ~priority:(t.tick + 1 + t.cfg.restart_delay) (Exec v)
 
-let blocked_txns t =
-  List.filter (fun id -> Waits_for.is_blocked t.wfg id) (Waits_for.txns t.wfg)
-
 (* Resolve until no blocked transaction lies on a cycle. New requests can
    only close cycles through the requester, but a resolution round's side
    effects (requeues, grants, edge re-pointing) can leave or create cycles
-   elsewhere, so the fixpoint scans every blocked transaction. *)
+   elsewhere.
+
+   The fixpoint is incremental: the graph was acyclic the last time the
+   dirty set was cleared, and every edge (re)installation since marks its
+   waiter dirty, so any cycle now alive passes through a dirty blocked
+   transaction. Each round therefore seeds one SCC pass at the dirty
+   transactions instead of running full cycle analyses over every blocked
+   transaction; a round with no blocked dirty transaction, or whose seeded
+   SCC pass finds no cycle, proves the whole graph acyclic and clears the
+   set. The requester examined first is chosen exactly as the full rescan
+   did — [primary] when it lies on a cycle, else the smallest blocked id
+   on one — so victim choices (and hence all statistics) are unchanged. *)
 let resolve_deadlocks t primary =
   let round = ref 0 in
+  let converged () = Hashtbl.reset t.wait_dirty in
   let rec fixpoint () =
     incr round;
     if !round > 1000 then
       raise (Stuck "deadlock resolution did not converge");
-    let candidates = primary :: blocked_txns t in
-    let cycle_site =
-      List.find_map
-        (fun b ->
-          if Waits_for.is_blocked t.wfg b then
-            match resolver_cycles t b with
-            | [] -> None
-            | cycles -> Some (b, cycles)
-          else None)
-        candidates
+    let seeds =
+      Hashtbl.fold
+        (fun id () acc ->
+          if Waits_for.is_blocked t.wfg id then id :: acc else acc)
+        t.wait_dirty []
     in
-    match cycle_site with
-    | None -> ()
-    | Some (requester, cycles) ->
-        Log.info (fun m ->
-            m "[%d] deadlock: %d cycle(s) through T%d" t.tick
-              (List.length cycles) requester);
-        t.deadlocks <- t.deadlocks + 1;
-        t.cycles_broken <- t.cycles_broken + List.length cycles;
-        let decision =
-          Resolver.choose ~policy:t.cfg.policy ~requester
-            ~entry_order:(fun v -> Txn_state.entry_order (txn_state t v))
-            ~release_cost:(release_cost t) ~rng:t.rng cycles
-        in
-        if decision.Resolver.optimal then
-          t.optimal_resolutions <- t.optimal_resolutions + 1;
-        (match t.deadlock_hook with
-        | Some hook -> hook ~requester ~cycles ~decision
-        | None -> ());
-        List.iter
-          (fun (v, entities) -> apply_rollback t v entities)
-          decision.Resolver.victims;
-        fixpoint ()
+    if seeds = [] then converged ()
+    else
+      match Waits_for.on_cycle_from t.wfg seeds with
+      | [] -> converged ()
+      | on_cycle -> (
+          let candidates =
+            if List.mem primary on_cycle then
+              primary :: List.filter (fun v -> v <> primary) on_cycle
+            else on_cycle
+          in
+          let cycle_site =
+            List.find_map
+              (fun b ->
+                match resolver_cycles t b with
+                | [] -> None
+                | cycles -> Some (b, cycles))
+              candidates
+          in
+          match cycle_site with
+          | None ->
+              (* Cycle enumeration hit its budget everywhere it looked:
+                 leave the dirty set in place so the next resolution
+                 revisits these transactions. *)
+              ()
+          | Some (requester, cycles) ->
+              Log.info (fun m ->
+                  m "[%d] deadlock: %d cycle(s) through T%d" t.tick
+                    (List.length cycles) requester);
+              t.deadlocks <- t.deadlocks + 1;
+              t.cycles_broken <- t.cycles_broken + List.length cycles;
+              let decision =
+                Resolver.choose ~policy:t.cfg.policy ~requester
+                  ~entry_order:(fun v -> Txn_state.entry_order (txn_state t v))
+                  ~release_cost:(release_cost t) ~rng:t.rng cycles
+              in
+              if decision.Resolver.optimal then
+                t.optimal_resolutions <- t.optimal_resolutions + 1;
+              (match t.deadlock_hook with
+              | Some hook -> hook ~requester ~cycles ~decision
+              | None -> ());
+              List.iter
+                (fun (v, entities) -> apply_rollback t v entities)
+                decision.Resolver.victims;
+              fixpoint ())
   in
   fixpoint ()
 
@@ -446,13 +496,18 @@ let handle_lock_request t id mode e =
           m "[%d] T%d blocked on %a(%s) behind %s" t.tick id Lock_mode.pp
             mode e
             (String.concat "," (List.map (Printf.sprintf "T%d") holders)));
-      Waits_for.set_wait t.wfg ~waiter:id ~holders e;
+      set_wait t ~waiter:id ~holders e;
       match t.cfg.intervention with
       | Detect ->
           (* Edges installed; a deadlock exists iff some blocker reaches
              the waiter (Section 3.1's descendant check). *)
+          t.detect_calls <- t.detect_calls + 1;
+          let t0 = match t.cfg.clock with Some clk -> clk () | None -> 0.0 in
           if Waits_for.would_deadlock t.wfg ~waiter:id ~holders then
-            resolve_deadlocks t id
+            resolve_deadlocks t id;
+          (match t.cfg.clock with
+          | Some clk -> t.detect_seconds <- t.detect_seconds +. clk () -. t0
+          | None -> ())
       | Timeout_abort n ->
           Hashtbl.replace t.blocked_since id t.tick;
           Heap.push t.events ~priority:(t.tick + n) (Timer id)
@@ -487,6 +542,11 @@ let handle_commit t id =
   List.iter (fun (e, _) -> refresh_waiters t e) held;
   Waits_for.remove_txn t.wfg id;
   History.commit_txn t.hist id;
+  (* A committer was never blocked at this point, but its timeout-mode
+     [blocked_since] entry may still linger (set on a block, cleared on
+     grant paths only) — drop it so the table cannot grow without bound
+     over a long run. *)
+  Hashtbl.remove t.blocked_since id;
   Log.debug (fun m -> m "[%d] T%d committed" t.tick id);
   Hashtbl.replace t.commit_ticks id t.tick;
   t.commits <- t.commits + 1;

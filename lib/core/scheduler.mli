@@ -58,6 +58,12 @@ type config = {
           transaction, rolls it back to state 0 and re-admits it after a
           delay that doubles with repeated crashes of the same
           transaction (DESIGN.md Section 7) *)
+  clock : (unit -> float) option;
+      (** when set (e.g. to [Unix.gettimeofday]), wall-clock seconds spent
+          in deadlock detection and resolution are accumulated and
+          reported by {!detection_seconds}; [None] (default) keeps the
+          request path free of clock calls. Never affects scheduling
+          decisions, so runs stay bit-for-bit deterministic either way *)
 }
 
 val default_config : config
@@ -112,6 +118,19 @@ val lock_table : t -> Prb_lock.Lock_table.t
 (** Live view — do not mutate. *)
 
 val history : t -> Prb_history.History.t
+
+val detection_seconds : t -> float
+(** Wall-clock seconds spent inside the deadlock check and resolution
+    fixpoint, when {!config}[.clock] is set; [0.] otherwise. The
+    benchmark harness uses this for the detection-time share. *)
+
+val detection_calls : t -> int
+(** Lock requests that blocked and ran the deadlock check. *)
+
+val n_blocked_tracked : t -> int
+(** Size of the internal blocked-since table ([Timeout_abort]
+    bookkeeping) — exposed so tests can assert it does not leak across
+    commits. *)
 
 (** Aggregate statistics over a (partial or finished) run. *)
 type stats = {

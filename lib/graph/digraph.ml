@@ -3,9 +3,11 @@ module Iset = Set.Make (Int)
 type t = {
   succs : (int, Iset.t ref) Hashtbl.t;
   preds : (int, Iset.t ref) Hashtbl.t;
+  mutable n_edges : int;
 }
 
-let create () = { succs = Hashtbl.create 64; preds = Hashtbl.create 64 }
+let create () =
+  { succs = Hashtbl.create 64; preds = Hashtbl.create 64; n_edges = 0 }
 
 let copy t =
   let dup tbl =
@@ -13,7 +15,7 @@ let copy t =
     Hashtbl.iter (fun k v -> Hashtbl.replace out k (ref !v)) tbl;
     out
   in
-  { succs = dup t.succs; preds = dup t.preds }
+  { succs = dup t.succs; preds = dup t.preds; n_edges = t.n_edges }
 
 let add_vertex t v =
   if not (Hashtbl.mem t.succs v) then begin
@@ -25,20 +27,26 @@ let mem_vertex t v = Hashtbl.mem t.succs v
 
 let adj tbl v = match Hashtbl.find_opt tbl v with None -> Iset.empty | Some s -> !s
 
+let mem_edge t u v = Iset.mem v (adj t.succs u)
+
 let remove_vertex t v =
   if mem_vertex t v then begin
+    let out = adj t.succs v and inc = adj t.preds v in
+    t.n_edges <-
+      t.n_edges - Iset.cardinal out - Iset.cardinal inc
+      + (if Iset.mem v out then 1 else 0);
     Iset.iter
       (fun w ->
         match Hashtbl.find_opt t.preds w with
         | Some s -> s := Iset.remove v !s
         | None -> ())
-      (adj t.succs v);
+      out;
     Iset.iter
       (fun w ->
         match Hashtbl.find_opt t.succs w with
         | Some s -> s := Iset.remove v !s
         | None -> ())
-      (adj t.preds v);
+      inc;
     Hashtbl.remove t.succs v;
     Hashtbl.remove t.preds v
   end
@@ -47,21 +55,31 @@ let add_edge t u v =
   add_vertex t u;
   add_vertex t v;
   let su = Hashtbl.find t.succs u and pv = Hashtbl.find t.preds v in
+  if not (Iset.mem v !su) then t.n_edges <- t.n_edges + 1;
   su := Iset.add v !su;
   pv := Iset.add u !pv
 
 let remove_edge t u v =
   (match Hashtbl.find_opt t.succs u with
-  | Some s -> s := Iset.remove v !s
+  | Some s ->
+      if Iset.mem v !s then begin
+        t.n_edges <- t.n_edges - 1;
+        s := Iset.remove v !s
+      end
   | None -> ());
   match Hashtbl.find_opt t.preds v with
   | Some s -> s := Iset.remove u !s
   | None -> ()
 
-let mem_edge t u v = Iset.mem v (adj t.succs u)
-
 let succ t v = Iset.elements (adj t.succs v)
 let pred t v = Iset.elements (adj t.preds v)
+
+(* Allocation-free traversal of a vertex's neighbours, in ascending order
+   (same order as [succ]/[pred], so traversals stay deterministic). The
+   hot paths below use these instead of materialising element lists. *)
+let iter_succ f t v = Iset.iter f (adj t.succs v)
+let iter_pred f t v = Iset.iter f (adj t.preds v)
+let fold_succ f t v init = Iset.fold f (adj t.succs v) init
 let out_degree t v = Iset.cardinal (adj t.succs v)
 let in_degree t v = Iset.cardinal (adj t.preds v)
 
@@ -75,7 +93,7 @@ let edges t =
   |> List.sort compare
 
 let n_vertices t = Hashtbl.length t.succs
-let n_edges t = Hashtbl.fold (fun _ s acc -> acc + Iset.cardinal !s) t.succs 0
+let n_edges t = t.n_edges
 
 let reachable t source =
   let seen = Hashtbl.create 16 in
@@ -91,7 +109,34 @@ let reachable t source =
   visit source;
   seen
 
-let path_exists t u v = Hashtbl.mem (reachable t u) v
+exception Found_target
+
+(* Early-exit DFS: stop the moment [target] shows up among the frontier,
+   instead of materialising the whole reachable set first. Iterative, so a
+   long chain cannot overflow the stack. *)
+let search_from t sources target =
+  let seen = Hashtbl.create 16 in
+  let stack = Stack.create () in
+  let expand v =
+    Iset.iter
+      (fun w ->
+        if w = target then raise Found_target
+        else if not (Hashtbl.mem seen w) then begin
+          Hashtbl.replace seen w ();
+          Stack.push w stack
+        end)
+      (adj t.succs v)
+  in
+  try
+    List.iter expand sources;
+    while not (Stack.is_empty stack) do
+      expand (Stack.pop stack)
+    done;
+    false
+  with Found_target -> true
+
+let path_exists t u v = search_from t [ u ] v
+let path_exists_from_any t sources v = search_from t sources v
 
 (* Iterative DFS with colouring; on finding a back edge, reconstruct the
    cycle from the recursion stack. *)
@@ -103,25 +148,20 @@ let find_cycle t =
   let rec dfs stack v =
     Hashtbl.replace colour v grey;
     let stack = v :: stack in
-    let rec loop = function
-      | [] -> ()
-      | w :: rest -> (
-          if !result <> None then ()
-          else
-            match col w with
-            | c when c = grey ->
-                (* Slice the stack from [v] back to [w]. *)
-                let rec take acc = function
-                  | [] -> acc
-                  | x :: xs -> if x = w then x :: acc else take (x :: acc) xs
-                in
-                result := Some (take [] stack)
-            | c when c = white ->
-                dfs stack w;
-                loop rest
-            | _ -> loop rest)
-    in
-    loop (succ t v);
+    iter_succ
+      (fun w ->
+        if !result = None then
+          match col w with
+          | c when c = grey ->
+              (* Slice the stack from [v] back to [w]. *)
+              let rec take acc = function
+                | [] -> acc
+                | x :: xs -> if x = w then x :: acc else take (x :: acc) xs
+              in
+              result := Some (take [] stack)
+          | c when c = white -> dfs stack w
+          | _ -> ())
+      t v;
     Hashtbl.replace colour v black
   in
   let rec try_roots = function
@@ -176,7 +216,7 @@ let cycles_through ?(limit = 10_000) ?budget t root =
       let exhausted () = !count >= limit || !steps >= budget in
       let rec dfs path v =
         if not (exhausted ()) then
-          List.iter
+          iter_succ
             (fun w ->
               incr steps;
               if not (exhausted ()) then
@@ -189,7 +229,7 @@ let cycles_through ?(limit = 10_000) ?budget t root =
                   dfs (w :: path) w;
                   Hashtbl.remove on_path w
                 end)
-            (succ t v)
+            t v
       in
       Hashtbl.replace on_path root ();
       dfs [ root ] root;
@@ -203,7 +243,10 @@ let cycle_through t root =
 let is_forest_inverted t =
   List.for_all (fun v -> out_degree t v <= 1) (vertices t) && not (has_cycle t)
 
-let scc t =
+(* Tarjan, restricted to the subgraph reachable from [roots]. Every SCC
+   fully reachable from a root is reported exactly; vertices unreachable
+   from all roots are not visited at all. [scc] passes every vertex. *)
+let scc_from t roots =
   let index = Hashtbl.create 64 in
   let lowlink = Hashtbl.create 64 in
   let on_stack = Hashtbl.create 64 in
@@ -216,7 +259,7 @@ let scc t =
     incr next_index;
     stack := v :: !stack;
     Hashtbl.replace on_stack v ();
-    List.iter
+    iter_succ
       (fun w ->
         if not (Hashtbl.mem index w) then begin
           strongconnect w;
@@ -226,7 +269,7 @@ let scc t =
         else if Hashtbl.mem on_stack w then
           Hashtbl.replace lowlink v
             (min (Hashtbl.find lowlink v) (Hashtbl.find index w)))
-      (succ t v);
+      t v;
     if Hashtbl.find lowlink v = Hashtbl.find index v then begin
       let rec pop acc =
         match !stack with
@@ -239,8 +282,22 @@ let scc t =
       components := List.sort compare (pop []) :: !components
     end
   in
-  List.iter (fun v -> if not (Hashtbl.mem index v) then strongconnect v) (vertices t);
+  List.iter
+    (fun v ->
+      if mem_vertex t v && not (Hashtbl.mem index v) then strongconnect v)
+    roots;
   List.rev !components
+
+let scc t = scc_from t (vertices t)
+
+let cyclic_vertices_from t roots =
+  List.concat_map
+    (fun comp ->
+      match comp with
+      | [ v ] -> if mem_edge t v v then [ v ] else []
+      | _ -> comp)
+    (scc_from t roots)
+  |> List.sort compare
 
 let topological_sort t =
   if has_cycle t then None
@@ -250,7 +307,7 @@ let topological_sort t =
     let rec visit v =
       if not (Hashtbl.mem seen v) then begin
         Hashtbl.replace seen v ();
-        List.iter visit (succ t v);
+        iter_succ visit t v;
         order := v :: !order
       end
     in

@@ -35,6 +35,14 @@ val succ : t -> int -> int list
 
 val pred : t -> int -> int list
 
+val iter_succ : (int -> unit) -> t -> int -> unit
+(** Apply to each successor in ascending order, without materialising a
+    list — the allocation-free form the traversal hot paths use. *)
+
+val iter_pred : (int -> unit) -> t -> int -> unit
+
+val fold_succ : (int -> 'a -> 'a) -> t -> int -> 'a -> 'a
+
 val out_degree : t -> int -> int
 val in_degree : t -> int -> int
 
@@ -45,7 +53,11 @@ val edges : t -> (int * int) list
 (** Lexicographic order. *)
 
 val n_vertices : t -> int
+(** O(1) — the vertex table's size. *)
+
 val n_edges : t -> int
+(** O(1) — maintained incrementally by the edge operations rather than
+    recounted by a table scan. *)
 
 val reachable : t -> int -> (int, unit) Hashtbl.t
 (** Vertices reachable from the source by one or more edges (the source
@@ -53,7 +65,15 @@ val reachable : t -> int -> (int, unit) Hashtbl.t
 
 val path_exists : t -> int -> int -> bool
 (** [path_exists g u v] — is there a directed path (length >= 1) from [u]
-    to [v]? *)
+    to [v]? Early-exit DFS: stops the moment [v] is reached instead of
+    computing full reachability, so a target adjacent to the source is
+    O(out-degree) no matter how large the graph. *)
+
+val path_exists_from_any : t -> int list -> int -> bool
+(** [path_exists_from_any g sources v] — does a directed path (length
+    >= 1) reach [v] from {e any} source? One DFS with a shared visited
+    set and early exit, not one full traversal per source — the deadlock
+    check for a multi-holder block ([Waits_for.would_deadlock]). *)
 
 val find_cycle : t -> int list option
 (** Some simple cycle as a vertex list [v1; ...; vk] with implied edges
@@ -81,6 +101,18 @@ val is_forest_inverted : t -> bool
 val scc : t -> int list list
 (** Strongly connected components (Tarjan), each sorted ascending, in
     reverse topological order of the condensation. *)
+
+val scc_from : t -> int list -> int list list
+(** SCCs of the subgraph reachable from the given roots (Tarjan seeded at
+    the roots; unknown roots are skipped). Any SCC containing a root, or
+    reachable from one, is reported exactly as {!scc} would. *)
+
+val cyclic_vertices_from : t -> int list -> int list
+(** Ascending list of vertices that lie on some cycle reachable from the
+    roots: members of non-trivial SCCs, plus self-loops. Used by the
+    incremental deadlock fixpoint — every new cycle must pass through a
+    vertex whose out-edges changed, so seeding here with the dirty set
+    finds every cycle. *)
 
 val topological_sort : t -> int list option
 (** [None] when cyclic. *)

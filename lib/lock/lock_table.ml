@@ -13,6 +13,10 @@ type t = {
   fair : bool;
   entries : (entity, entry) Hashtbl.t;
   wait_of : (txn, entity * mode) Hashtbl.t;
+  held_of : (txn, (entity, mode) Hashtbl.t) Hashtbl.t;
+      (* txn -> its held locks; the per-transaction index that makes
+         [held_by]/[release_all] O(locks held) instead of a scan over
+         every entry in the table *)
   mutable requests : int;
   mutable blocks : int;
   mutable upgrades : int;
@@ -23,6 +27,7 @@ let create ?(fair = true) () =
     fair;
     entries = Hashtbl.create 128;
     wait_of = Hashtbl.create 32;
+    held_of = Hashtbl.create 32;
     requests = 0;
     blocks = 0;
     upgrades = 0;
@@ -37,6 +42,30 @@ let entry t e =
       let entry = { holding = []; queue = [] } in
       Hashtbl.replace t.entries e entry;
       entry
+
+(* Entries whose holder set and queue both drained are dropped, so the
+   entry table tracks only contended-or-held entities instead of every
+   entity ever touched. *)
+let gc_entry t e entry =
+  if entry.holding = [] && entry.queue = [] then Hashtbl.remove t.entries e
+
+let index_grant t who e mode =
+  let held =
+    match Hashtbl.find_opt t.held_of who with
+    | Some h -> h
+    | None ->
+        let h = Hashtbl.create 8 in
+        Hashtbl.replace t.held_of who h;
+        h
+  in
+  Hashtbl.replace held e mode
+
+let index_release t who e =
+  match Hashtbl.find_opt t.held_of who with
+  | None -> ()
+  | Some held ->
+      Hashtbl.remove held e;
+      if Hashtbl.length held = 0 then Hashtbl.remove t.held_of who
 
 type outcome = Granted | Blocked of txn list
 
@@ -72,8 +101,10 @@ let current_blockers t entry who mode =
   in
   List.sort_uniq compare (holders @ queued)
 
-let grant entry who mode =
-  entry.holding <- (who, mode) :: List.filter (fun (h, _) -> h <> who) entry.holding
+let grant t entry e who mode =
+  entry.holding <-
+    (who, mode) :: List.filter (fun (h, _) -> h <> who) entry.holding;
+  index_grant t who e mode
 
 let request t txn mode e =
   if Hashtbl.mem t.wait_of txn then
@@ -88,7 +119,7 @@ let request t txn mode e =
   | None, _ -> ());
   match current_blockers t entry txn mode with
   | [] -> begin
-      grant entry txn mode;
+      grant t entry e txn mode;
       Granted
     end
   | blockers ->
@@ -104,10 +135,10 @@ let request t txn mode e =
    and stop at the first waiter that still conflicts with the holders;
    under the availability discipline, every waiter compatible with the
    holders is granted regardless of position. *)
-let try_grants t entry =
+let try_grants t e entry =
   let granted = ref [] in
   let grant_waiter (w, m) =
-    grant entry w m;
+    grant t entry e w m;
     Hashtbl.remove t.wait_of w;
     granted := (w, m) :: !granted
   in
@@ -153,6 +184,7 @@ let try_grants t entry =
       entry.queue;
     entry.queue <- List.rev !still
   end;
+  gc_entry t e entry;
   List.rev !granted
 
 let release t txn e =
@@ -162,7 +194,8 @@ let release t txn e =
       if not (List.mem_assoc txn entry.holding) then
         invalid_arg "Lock_table.release: lock not held";
       entry.holding <- List.filter (fun (h, _) -> h <> txn) entry.holding;
-      try_grants t entry
+      index_release t txn e;
+      try_grants t e entry
 
 let cancel_wait t txn =
   match Hashtbl.find_opt t.wait_of txn with
@@ -173,17 +206,19 @@ let cancel_wait t txn =
       | Some entry ->
           entry.queue <- List.filter (fun (w, _) -> w <> txn) entry.queue;
           (* Removing a queued conflict may unblock those behind it. *)
-          Some (e, try_grants t entry)
+          Some (e, try_grants t e entry)
       | None -> Some (e, []))
 
 let held_by t txn =
-  Hashtbl.fold
-    (fun e entry acc ->
-      match List.assoc_opt txn entry.holding with
-      | Some m -> (e, m) :: acc
-      | None -> acc)
-    t.entries []
-  |> List.sort compare
+  match Hashtbl.find_opt t.held_of txn with
+  | None -> []
+  | Some held ->
+      Hashtbl.fold (fun e m acc -> (e, m) :: acc) held [] |> List.sort compare
+
+let n_held t txn =
+  match Hashtbl.find_opt t.held_of txn with
+  | None -> 0
+  | Some held -> Hashtbl.length held
 
 let release_all t txn =
   let cancel_grants =
@@ -204,10 +239,15 @@ let holders t e =
 let waiters t e =
   match Hashtbl.find_opt t.entries e with None -> [] | Some entry -> entry.queue
 
-let holds t txn e =
+let has_waiters t e =
   match Hashtbl.find_opt t.entries e with
+  | None -> false
+  | Some entry -> entry.queue <> []
+
+let holds t txn e =
+  match Hashtbl.find_opt t.held_of txn with
   | None -> None
-  | Some entry -> List.assoc_opt txn entry.holding
+  | Some held -> Hashtbl.find_opt held e
 
 let waiting_for t txn = Hashtbl.find_opt t.wait_of txn
 
@@ -233,3 +273,4 @@ let classify t txn mode e =
 let n_requests t = t.requests
 let n_blocks t = t.blocks
 let n_upgrades t = t.upgrades
+let n_entries t = Hashtbl.length t.entries

@@ -72,10 +72,19 @@ val holders : t -> entity -> (txn * mode) list
 val waiters : t -> entity -> (txn * mode) list
 (** FIFO order. *)
 
+val has_waiters : t -> entity -> bool
+(** O(1): does the entity have a non-empty wait queue? Lets release paths
+    skip the waiter re-pointing pass for uncontended entities. *)
+
 val held_by : t -> txn -> (entity * mode) list
-(** Sorted by entity. *)
+(** Sorted by entity. O(locks held): served from a per-transaction index,
+    not a scan over every entry in the table. *)
+
+val n_held : t -> txn -> int
+(** O(1): how many locks the transaction holds. *)
 
 val holds : t -> txn -> entity -> mode option
+(** O(1) via the per-transaction index. *)
 
 val waiting_for : t -> txn -> (entity * mode) option
 (** The transaction's pending request, if blocked. *)
@@ -99,3 +108,8 @@ val classify : t -> txn -> mode -> entity -> conflict_kind
 val n_requests : t -> int
 val n_blocks : t -> int
 val n_upgrades : t -> int
+
+val n_entries : t -> int
+(** Live entries in the table. Entries are dropped as soon as both their
+    holder set and queue drain, so this tracks currently held-or-contended
+    entities, not every entity ever locked. *)

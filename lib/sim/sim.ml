@@ -16,6 +16,8 @@ type result = {
   serializable : bool;
   peak_copies : int;
   store_installs : int;
+  detect_seconds : float;
+  detect_calls : int;
 }
 
 let run ?(config = default_config) ~store programs =
@@ -68,6 +70,8 @@ let run ?(config = default_config) ~store programs =
     serializable = History.serializable (Scheduler.history sched);
     peak_copies = stats.Scheduler.peak_copies;
     store_installs = Store.install_count store;
+    detect_seconds = Scheduler.detection_seconds sched;
+    detect_calls = Scheduler.detection_calls sched;
   }
 
 let run_generated ?config ~params ~seed ~n_txns () =
@@ -135,6 +139,8 @@ module Open = struct
         serializable = History.serializable (Scheduler.history sched);
         peak_copies = stats.Scheduler.peak_copies;
         store_installs = Store.install_count store;
+        detect_seconds = Scheduler.detection_seconds sched;
+        detect_calls = Scheduler.detection_calls sched;
       }
     in
     let pct p =

@@ -22,6 +22,10 @@ type result = {
   serializable : bool;
   peak_copies : int;
   store_installs : int;
+  detect_seconds : float;
+      (** wall-clock seconds spent in deadlock detection/resolution when
+          the scheduler config carries a [clock]; [0.] otherwise *)
+  detect_calls : int;  (** blocked requests that ran the deadlock check *)
 }
 
 val run :

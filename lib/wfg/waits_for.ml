@@ -58,11 +58,12 @@ let edges t =
     (Digraph.edges t.graph)
 
 let would_deadlock t ~waiter ~holders =
-  List.exists
-    (fun h -> h = waiter || Digraph.path_exists t.graph h waiter)
-    holders
+  List.mem waiter holders
+  || Digraph.path_exists_from_any t.graph holders waiter
 
 let cycles_through ?limit t txn = Digraph.cycles_through ?limit t.graph txn
+
+let on_cycle_from t seeds = Digraph.cyclic_vertices_from t.graph seeds
 
 let is_exclusive_forest t = Digraph.is_forest_inverted t.graph
 

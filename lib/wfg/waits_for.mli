@@ -48,7 +48,14 @@ val would_deadlock : t -> waiter:txn -> holders:txn list -> bool
 (** Would blocking [waiter] on [holders] close a cycle? True iff some
     holder already reaches the waiter — the descendant check of
     Section 3.1 (on the transposed orientation). The graph is not
-    modified. *)
+    modified. One multi-source early-exit DFS over all holders (shared
+    visited set), not a full reachability pass per holder. *)
+
+val on_cycle_from : t -> txn list -> txn list
+(** Transactions lying on some waits-for cycle reachable from the seeds,
+    ascending. Sound as a full cycle census whenever every cycle is known
+    to pass through a seed — the scheduler seeds it with the transactions
+    whose wait edges changed since the graph was last acyclic. *)
 
 val cycles_through : ?limit:int -> t -> txn -> txn list list
 (** All simple cycles containing the transaction, each starting at it —

@@ -94,6 +94,53 @@ let test_path_exists () =
   checkb "no path 3->4" false (Digraph.path_exists g 3 4);
   checkb "no empty path" false (Digraph.path_exists g 1 1)
 
+let test_path_exists_early_exit () =
+  (* A 100k-vertex chain where the target sits right next to the source:
+     the search must stop at the first neighbour instead of materialising
+     the whole reachable set. 300 calls complete far inside a generous
+     CPU bound; the pre-early-exit implementation walked the full chain
+     on every call and took tens of seconds. *)
+  let g = Digraph.create () in
+  let n = 100_000 in
+  for i = 0 to n - 1 do
+    Digraph.add_edge g i (i + 1)
+  done;
+  let t0 = Sys.time () in
+  for _ = 1 to 300 do
+    checkb "adjacent target found" true (Digraph.path_exists g 0 1)
+  done;
+  checkb "300 adjacent-target searches stay under 2s CPU" true
+    (Sys.time () -. t0 < 2.0);
+  checkb "full chain still reachable" true (Digraph.path_exists g 0 n);
+  checkb "no reverse path" false (Digraph.path_exists g n 0)
+
+let test_path_exists_from_any () =
+  let g = Digraph.create () in
+  List.iter (fun (u, v) -> Digraph.add_edge g u v) [ (1, 2); (2, 3); (10, 11) ];
+  checkb "second source reaches" true (Digraph.path_exists_from_any g [ 10; 1 ] 3);
+  checkb "no source reaches" false (Digraph.path_exists_from_any g [ 10; 3 ] 1);
+  checkb "no sources" false (Digraph.path_exists_from_any g [] 3);
+  checkb "unknown source ignored" false (Digraph.path_exists_from_any g [ 99 ] 3);
+  (* like path_exists, source = target needs an actual cycle *)
+  checkb "source=target without loop" false (Digraph.path_exists_from_any g [ 3 ] 3);
+  Digraph.add_edge g 3 3;
+  checkb "self-loop closes it" true (Digraph.path_exists_from_any g [ 3 ] 3)
+
+let test_scc_from () =
+  let g = Digraph.create () in
+  List.iter (fun (u, v) -> Digraph.add_edge g u v)
+    [ (1, 2); (2, 3); (3, 1); (3, 4); (4, 5); (5, 4); (7, 7); (8, 9) ];
+  let comps = List.sort compare (Digraph.scc_from g [ 1 ]) in
+  checkb "components reachable from 1" true (comps = [ [ 1; 2; 3 ]; [ 4; 5 ] ]);
+  checkb "unknown root skipped" true (Digraph.scc_from g [ 99 ] = []);
+  checkil "on-cycle vertices from 1" [ 1; 2; 3; 4; 5 ]
+    (Digraph.cyclic_vertices_from g [ 1 ]);
+  checkil "self-loop is on-cycle" [ 7 ] (Digraph.cyclic_vertices_from g [ 7 ]);
+  checkil "acyclic region has none" [] (Digraph.cyclic_vertices_from g [ 8 ]);
+  (* seeding at every vertex matches the unrestricted on-cycle set *)
+  checkil "all roots" [ 1; 2; 3; 4; 5; 7 ]
+    (Digraph.cyclic_vertices_from g (Digraph.vertices g))
+
 let test_cycles_through () =
   let g = Digraph.create () in
   (* two cycles through 1: 1-2-1 and 1-3-4-1; one cycle avoiding 1: 5-6-5 *)
@@ -184,6 +231,37 @@ let qcheck_topo_iff_acyclic =
       let g = Digraph.create () in
       List.iter (fun (u, v) -> Digraph.add_edge g u v) edges;
       (Digraph.topological_sort g <> None) = not (Digraph.has_cycle g))
+
+(* qcheck: the cached vertex/edge counters stay consistent with full
+   enumeration under arbitrary add/remove churn, including remove_vertex
+   tearing out incident edges and self-loops. *)
+let qcheck_counts_vs_enumeration =
+  QCheck.Test.make ~name:"cached counts match enumeration under churn"
+    ~count:300
+    QCheck.(list (triple (int_bound 2) (int_bound 5) (int_bound 5)))
+    (fun ops ->
+      let g = Digraph.create () in
+      List.iter
+        (fun (op, u, v) ->
+          match op with
+          | 0 -> Digraph.add_edge g u v
+          | 1 -> Digraph.remove_edge g u v
+          | _ -> Digraph.remove_vertex g u)
+        ops;
+      Digraph.n_edges g = List.length (Digraph.edges g)
+      && Digraph.n_vertices g = List.length (Digraph.vertices g))
+
+(* qcheck: path_exists_from_any is exactly the disjunction of per-source
+   path_exists. *)
+let qcheck_multi_source_vs_union =
+  QCheck.Test.make ~name:"path_exists_from_any = exists path_exists"
+    ~count:300
+    QCheck.(pair arbitrary_edges (pair (list (int_bound 7)) (int_bound 7)))
+    (fun (edges, (sources, target)) ->
+      let g = Digraph.create () in
+      List.iter (fun (u, v) -> Digraph.add_edge g u v) edges;
+      Digraph.path_exists_from_any g sources target
+      = List.exists (fun s -> Digraph.path_exists g s target) sources)
 
 (* --- Ugraph --- *)
 
@@ -314,6 +392,11 @@ let () =
           Alcotest.test_case "self loop" `Quick test_self_loop_cycle;
           Alcotest.test_case "find_cycle valid" `Quick test_find_cycle_valid;
           Alcotest.test_case "path_exists" `Quick test_path_exists;
+          Alcotest.test_case "path_exists early exit" `Quick
+            test_path_exists_early_exit;
+          Alcotest.test_case "path_exists_from_any" `Quick
+            test_path_exists_from_any;
+          Alcotest.test_case "scc_from seeds" `Quick test_scc_from;
           Alcotest.test_case "cycles through vertex" `Quick test_cycles_through;
           Alcotest.test_case "cycle limit" `Quick test_cycles_through_limit;
           Alcotest.test_case "exploration budget" `Quick test_cycles_through_budget;
@@ -322,6 +405,8 @@ let () =
           Alcotest.test_case "topological sort" `Quick test_topological_sort;
           QCheck_alcotest.to_alcotest qcheck_cycle_vs_scc;
           QCheck_alcotest.to_alcotest qcheck_topo_iff_acyclic;
+          QCheck_alcotest.to_alcotest qcheck_counts_vs_enumeration;
+          QCheck_alcotest.to_alcotest qcheck_multi_source_vs_union;
         ] );
       ( "ugraph",
         [

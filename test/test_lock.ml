@@ -227,6 +227,117 @@ let qcheck_no_conflicting_grants fair =
             holders)
         [ 0; 1; 2 ])
 
+(* --- qcheck: the indexed table vs a naive reference model --- *)
+
+(* The table keeps a per-transaction held-locks index so that
+   [held_by]/[holds]/[release_all] are O(locks held). This property drives
+   random request/release/cancel traffic — including upgrades and the fair
+   queue — against a naive flat-list model that is updated only from the
+   observable outcomes (grant results), then checks every read-side
+   accessor against the model after each step. Any drift between the
+   index, the per-entity entries, and the waiter bookkeeping fails here. *)
+let qcheck_index_vs_reference fair =
+  let name =
+    Printf.sprintf "indexed table matches naive reference (%s)"
+      (if fair then "fair" else "availability")
+  in
+  let n_txns = 5 and n_entities = 3 in
+  QCheck.Test.make ~name ~count:200
+    QCheck.(
+      list (triple (int_bound (n_txns - 1)) (int_bound 4) (int_bound (n_entities - 1))))
+    (fun script ->
+      let t = Lock_table.create ~fair () in
+      let entity i = Printf.sprintf "e%d" i in
+      let entities = List.init n_entities entity in
+      let txns = List.init n_txns Fun.id in
+      (* naive model: flat association lists, event-sourced from outcomes *)
+      let held = ref [] (* (txn * entity * mode) list *)
+      and waiting = ref [] (* (txn * entity * mode) list *) in
+      let model_grant w e m =
+        waiting := List.filter (fun (x, _, _) -> x <> w) !waiting;
+        held := (w, e, m) :: List.filter (fun (x, e', _) -> (x, e') <> (w, e)) !held
+      in
+      let model_holds txn e =
+        List.find_map
+          (fun (x, e', m) -> if (x, e') = (txn, e) then Some m else None)
+          !held
+      in
+      let check_agreement () =
+        List.for_all
+          (fun txn ->
+            let model_held =
+              List.filter_map
+                (fun (x, e, m) -> if x = txn then Some (e, m) else None)
+                !held
+              |> List.sort compare
+            in
+            Lock_table.held_by t txn = model_held
+            && Lock_table.n_held t txn = List.length model_held
+            && Lock_table.waiting_for t txn
+               = List.find_map
+                   (fun (x, e, m) -> if x = txn then Some (e, m) else None)
+                   !waiting
+            && List.for_all
+                 (fun e -> Lock_table.holds t txn e = model_holds txn e)
+                 entities)
+          txns
+        && List.for_all
+             (fun e ->
+               Lock_table.holders t e
+               = (List.filter_map
+                    (fun (x, e', m) -> if e' = e then Some (x, m) else None)
+                    !held
+                 |> List.sort compare))
+             entities
+        (* gc: the entry table holds exactly the touched entities *)
+        && Lock_table.n_entries t
+           = List.length
+               (List.filter
+                  (fun e ->
+                    List.exists (fun (_, e', _) -> e' = e) !held
+                    || List.exists (fun (_, e', _) -> e' = e) !waiting)
+                  entities)
+      in
+      List.for_all
+        (fun (txn, op, ei) ->
+          let e = entity ei in
+          (match op with
+          | 0 | 1 -> (
+              let mode = if op = 0 then s else x in
+              match (Lock_table.waiting_for t txn, Lock_table.holds t txn e) with
+              | Some _, _ -> () (* already waiting: a request would raise *)
+              | _, Some m
+                when m = Lock_mode.Exclusive || mode = Lock_mode.Shared ->
+                  () (* nothing to upgrade to *)
+              | None, _ -> (
+                  (* fresh request, or an S->X upgrade *)
+                  match Lock_table.request t txn mode e with
+                  | Lock_table.Granted -> model_grant txn e mode
+                  | Lock_table.Blocked _ ->
+                      waiting := (txn, e, mode) :: !waiting))
+          | 2 ->
+              if
+                Lock_table.holds t txn e <> None
+                && Lock_table.waiting_for t txn = None
+              then begin
+                held := List.filter (fun (x, e', _) -> (x, e') <> (txn, e)) !held;
+                List.iter (fun (w, m) -> model_grant w e m)
+                  (Lock_table.release t txn e)
+              end
+          | 3 -> (
+              match Lock_table.cancel_wait t txn with
+              | None -> ()
+              | Some (e, grants) ->
+                  waiting := List.filter (fun (x, _, _) -> x <> txn) !waiting;
+                  List.iter (fun (w, m) -> model_grant w e m) grants)
+          | _ ->
+              held := List.filter (fun (x, _, _) -> x <> txn) !held;
+              waiting := List.filter (fun (x, _, _) -> x <> txn) !waiting;
+              List.iter (fun (w, m, e) -> model_grant w e m)
+                (Lock_table.release_all t txn));
+          check_agreement ())
+        script)
+
 let () =
   Alcotest.run "prb_lock"
     [
@@ -262,5 +373,7 @@ let () =
           Alcotest.test_case "conflict taxonomy" `Quick test_classify;
           QCheck_alcotest.to_alcotest (qcheck_no_conflicting_grants true);
           QCheck_alcotest.to_alcotest (qcheck_no_conflicting_grants false);
+          QCheck_alcotest.to_alcotest (qcheck_index_vs_reference true);
+          QCheck_alcotest.to_alcotest (qcheck_index_vs_reference false);
         ] );
     ]

@@ -324,6 +324,70 @@ let test_wound_wait_spares_elders () =
   checki "oldest never rolled back" 0
     (Txn_state.n_rollbacks (Scheduler.txn_state sched oldest))
 
+let test_dirty_set_fixpoint_contended () =
+  (* Regression for the dirty-set resolution fixpoint: a hot workload that
+     forces many multi-round resolutions (rollback regrants re-blocking
+     transactions mid-fixpoint) must still clear every deadlock, and the
+     optional detection clock must observe the work without perturbing
+     it. *)
+  let params =
+    {
+      Generator.default_params with
+      n_entities = 10;
+      zipf_theta = 0.95;
+      min_locks = 3;
+      max_locks = 6;
+    }
+  in
+  let run clock =
+    let store = Generator.populate params in
+    let programs = Generator.generate params ~seed:13 ~n:40 in
+    let config = { Scheduler.default_config with seed = 13; clock } in
+    let sched = Scheduler.create ~config store in
+    List.iter (fun p -> ignore (Scheduler.submit sched p)) programs;
+    Scheduler.run sched;
+    sched
+  in
+  let sched = run None in
+  let s = Scheduler.stats sched in
+  checkb "all commit" true (Scheduler.all_committed sched);
+  checkb "deadlocks actually happened" true (s.Scheduler.deadlocks > 0);
+  checkb "serializable" true (History.serializable (Scheduler.history sched));
+  checkb "every lock request was checked" true
+    (Scheduler.detection_calls sched > 0);
+  checkb "no clock, no seconds" true (Scheduler.detection_seconds sched = 0.);
+  (* deterministic fake clock: each reading advances by 1ms *)
+  let ticks = ref 0. in
+  let fake () = ticks := !ticks +. 0.001; !ticks in
+  let timed = run (Some fake) in
+  let t = Scheduler.stats timed in
+  checki "clock does not change scheduling: commits" s.Scheduler.commits
+    t.Scheduler.commits;
+  checki "clock does not change scheduling: deadlocks" s.Scheduler.deadlocks
+    t.Scheduler.deadlocks;
+  checki "clock does not change scheduling: ticks" s.Scheduler.ticks
+    t.Scheduler.ticks;
+  checkb "instrumented time accumulated" true
+    (Scheduler.detection_seconds timed > 0.)
+
+let test_blocked_since_no_leak () =
+  (* blocked_since entries must be dropped on commit, not only on abort,
+     so the timeout bookkeeping cannot accumulate across a run *)
+  List.iter
+    (fun intervention ->
+      let params =
+        { Generator.default_params with n_entities = 8; zipf_theta = 0.9 }
+      in
+      let store = Generator.populate params in
+      let programs = Generator.generate params ~seed:3 ~n:30 in
+      let config = { Scheduler.default_config with intervention; seed = 3 } in
+      let sched = Scheduler.create ~config store in
+      List.iter (fun p -> ignore (Scheduler.submit sched p)) programs;
+      Scheduler.run sched;
+      checkb "all commit" true (Scheduler.all_committed sched);
+      checki "blocked-since table drained" 0 (Scheduler.n_blocked_tracked sched))
+    [ Scheduler.Detect; Scheduler.Timeout_abort 25 ]
+
 (* qcheck: any (seed, strategy, livelock-free policy) combination over a
    contended workload commits everything, stays serializable, and never
    lets a rollback touch the store. *)
@@ -418,6 +482,10 @@ let () =
           Alcotest.test_case "Section 3.2: multi-cycle with S locks" `Quick
             test_shared_multi_cycles_happen;
           Alcotest.test_case "victims are growing" `Quick test_growing_victims_only;
+          Alcotest.test_case "dirty-set fixpoint under contention" `Quick
+            test_dirty_set_fixpoint_contended;
+          Alcotest.test_case "blocked-since table drains" `Quick
+            test_blocked_since_no_leak;
         ] );
       ( "liveness",
         [
