@@ -578,6 +578,119 @@ let bench_cmd =
     (Cmd.info "bench" ~doc ~man)
     Term.(const run_bench $ bench_quick_arg $ bench_json_arg)
 
+(* --- prb lint: determinism & protocol-invariant static analysis ------- *)
+
+let lint_paths_arg =
+  Arg.(
+    value & pos_all string []
+    & info [] ~docv:"PATH"
+        ~doc:
+          "Files or directories to lint. Defaults to $(b,lib) and $(b,bin) \
+           of the enclosing dune project (found by walking up from the \
+           current directory).")
+
+let lint_rules_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "rules" ] ~docv:"IDS"
+        ~doc:
+          "Comma-separated rule ids to enable (e.g. $(b,D1,D3)). Default: \
+           all rules.")
+
+let lint_json_arg =
+  Arg.(
+    value & flag
+    & info [ "json" ]
+        ~doc:"Emit violations as a JSON array (for editor integration).")
+
+let default_lint_paths () =
+  (* walk up to the dune-project root so [prb lint] works from anywhere
+     inside the repo *)
+  let rec root dir =
+    if Sys.file_exists (Filename.concat dir "dune-project") then Some dir
+    else
+      let parent = Filename.dirname dir in
+      if String.equal parent dir then None else root parent
+  in
+  match root (Sys.getcwd ()) with
+  | Some dir ->
+      [ Filename.concat dir "lib"; Filename.concat dir "bin" ]
+      |> List.filter Sys.file_exists
+  | None -> []
+
+let run_lint paths rules json =
+  let module Lint = Prb_lint.Lint in
+  let rules =
+    match rules with
+    | None -> None
+    | Some spec ->
+        let ids =
+          String.split_on_char ',' spec
+          |> List.concat_map (String.split_on_char ' ')
+          |> List.filter (fun s -> not (String.equal s ""))
+        in
+        let parsed =
+          List.map
+            (fun id ->
+              match Lint.rule_of_id id with
+              | Some r -> r
+              | None ->
+                  Fmt.epr "prb lint: unknown rule id %S@." id;
+                  exit 2)
+            ids
+        in
+        Some parsed
+  in
+  let paths =
+    match paths with
+    | [] -> (
+        match default_lint_paths () with
+        | [] ->
+            Fmt.epr
+              "prb lint: no PATH given and no dune-project found above the \
+               current directory@.";
+            exit 2
+        | ps -> ps)
+    | ps -> ps
+  in
+  let violations, errors = Lint.scan ?rules paths in
+  if json then
+    Fmt.pr "[%s]@."
+      (String.concat ",\n " (List.map Lint.violation_json violations))
+  else
+    List.iter (fun v -> Fmt.pr "%a@." Lint.pp_violation v) violations;
+  List.iter (fun (f, e) -> Fmt.epr "prb lint: parse error in %s:@.%s@." f e)
+    errors;
+  if errors <> [] then 2 else if violations <> [] then 1 else 0
+
+let lint_cmd =
+  let doc = "statically check determinism and protocol invariants" in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Parses every OCaml module under the given paths (no type \
+         information needed) and enforces the repository's replay-\
+         determinism discipline as named rules: D1 (no hash-order Hashtbl \
+         traversal in replay-critical libraries), D2 (no polymorphic \
+         compare where an id module owns the order), D3 (no ambient \
+         randomness or wall clock), L1 (core/lock must not depend on the \
+         simulation stack), L2 (no catch-all match arm on the distributed \
+         protocol message type).";
+      `P
+        "Violations print as $(b,file:line:col: rule-id message). Suppress \
+         a finding with $(b,[\\@lint.allow \"D1\"]) on the expression, \
+         $(b,[\\@\\@lint.allow \"D1\"]) on the enclosing let-binding, or a \
+         floating $(b,[\\@\\@\\@lint.allow \"D1 D2\"]) for the rest of the \
+         file.";
+      `P "Exits 0 when clean, 1 on violations, 2 on parse/usage errors.";
+    ]
+  in
+  Cmd.v
+    (Cmd.info "lint" ~doc ~man)
+    Term.(const run_lint $ lint_paths_arg $ lint_rules_arg $ lint_json_arg)
+
 (* --- main ------------------------------------------------------------- *)
 
 let () =
@@ -594,4 +707,5 @@ let () =
             analyze_cmd;
             chaos_cmd;
             bench_cmd;
+            lint_cmd;
           ]))

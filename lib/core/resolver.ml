@@ -1,7 +1,9 @@
 module Cutset = Prb_graph.Cutset
 module Rng = Prb_util.Rng
+module Txn_id = Prb_txn.Txn_id
+module Entity = Prb_storage.Store.Entity
 
-type txn = int
+type txn = Txn_id.t
 type entity = Prb_storage.Store.entity
 type cycle = (txn * entity) list
 
@@ -12,16 +14,17 @@ let needed_entities cycles v =
   List.concat_map
     (fun cycle ->
       List.filter_map
-        (fun (m, e) -> if m = v then Some e else None)
+        (fun (m, e) -> if Txn_id.equal m v then Some e else None)
         cycle)
     cycles
-  |> List.sort_uniq compare
+  |> List.sort_uniq Entity.compare
 
 let decision_of cycles ~optimal chosen =
   {
     victims =
+      (* victims are pairwise-distinct transactions *)
       List.map (fun v -> (v, needed_entities cycles v)) chosen
-      |> List.sort compare;
+      |> List.sort (fun (a, _) (b, _) -> Txn_id.compare a b);
     optimal;
   }
 
@@ -31,7 +34,11 @@ let iterative_pick cycles pick =
   let rec loop chosen =
     let surviving =
       List.filter
-        (fun cycle -> not (List.exists (fun (m, _) -> List.mem m chosen) cycle))
+        (fun cycle ->
+          not
+            (List.exists
+               (fun (m, _) -> List.exists (Txn_id.equal m) chosen)
+               cycle))
         cycles
     in
     match surviving with
@@ -48,7 +55,7 @@ let min_cost_cut ~requester cycles ~release_cost ~eligible =
     List.map
       (fun cycle ->
         match List.filter (fun (m, _) -> eligible m) cycle with
-        | [] -> List.filter (fun (m, _) -> m = requester) cycle
+        | [] -> List.filter (fun (m, _) -> Txn_id.equal m requester) cycle
         | kept -> kept)
       cycles
   in
@@ -66,7 +73,7 @@ let choose ~policy ~requester ~entry_order ~release_cost ~rng cycles =
   if cycles = [] then invalid_arg "Resolver.choose: no cycles";
   List.iter
     (fun cycle ->
-      if not (List.exists (fun (m, _) -> m = requester) cycle) then
+      if not (List.exists (fun (m, _) -> Txn_id.equal m requester) cycle) then
         invalid_arg "Resolver.choose: requester missing from a cycle")
     cycles;
   match policy with

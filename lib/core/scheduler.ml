@@ -8,6 +8,8 @@ module Txn_state = Prb_rollback.Txn_state
 module History = Prb_history.History
 module Heap = Prb_util.Heap
 module Rng = Prb_util.Rng
+module Util = Prb_util.Util
+module Txn_id = Prb_txn.Txn_id
 module Fault = Prb_fault.Fault
 
 type intervention =
@@ -167,8 +169,7 @@ let txn_state t id =
   | Some ts -> ts
   | None -> raise Not_found
 
-let all_txns t =
-  Hashtbl.fold (fun id _ acc -> id :: acc) t.txns [] |> List.sort compare
+let all_txns t = Util.sorted_keys Txn_id.compare t.txns
 
 let now t = t.tick
 let n_committed t = t.commits
@@ -350,10 +351,9 @@ let resolve_deadlocks t primary =
     if !round > 1000 then
       raise (Stuck "deadlock resolution did not converge");
     let seeds =
-      Hashtbl.fold
-        (fun id () acc ->
-          if Waits_for.is_blocked t.wfg id then id :: acc else acc)
-        t.wait_dirty []
+      List.filter
+        (fun id -> Waits_for.is_blocked t.wfg id)
+        (Util.sorted_keys Txn_id.compare t.wait_dirty)
     in
     if seeds = [] then converged ()
     else
@@ -361,8 +361,9 @@ let resolve_deadlocks t primary =
       | [] -> converged ()
       | on_cycle -> (
           let candidates =
-            if List.mem primary on_cycle then
-              primary :: List.filter (fun v -> v <> primary) on_cycle
+            if List.exists (Txn_id.equal primary) on_cycle then
+              primary
+              :: List.filter (fun v -> not (Txn_id.equal v primary)) on_cycle
             else on_cycle
           in
           let cycle_site =
@@ -642,7 +643,9 @@ let latency t id =
   | _ -> None
 
 let stats t =
-  let fold f init = Hashtbl.fold (fun _ ts acc -> f acc ts) t.txns init in
+  let fold f init =
+    Util.fold_sorted Txn_id.compare (fun _ ts acc -> f acc ts) t.txns init
+  in
   {
     ticks = t.tick;
     commits = t.commits;

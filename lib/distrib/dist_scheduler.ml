@@ -8,6 +8,8 @@ module Txn_state = Prb_rollback.Txn_state
 module History = Prb_history.History
 module Heap = Prb_util.Heap
 module Rng = Prb_util.Rng
+module Util = Prb_util.Util
+module Txn_id = Prb_txn.Txn_id
 module Policy = Prb_core.Policy
 module Resolver = Prb_core.Resolver
 module Fault = Prb_fault.Fault
@@ -421,8 +423,8 @@ let apply_rollback t v entities =
          rollback released. *)
       let home = (meta t v).home in
       let sites =
-        List.sort_uniq compare (List.map (site_of t) released)
-        |> List.filter (fun s -> s <> home)
+        List.sort_uniq Site_id.compare (List.map (site_of t) released)
+        |> List.filter (fun s -> not (Site_id.equal s home))
       in
       t.messages <- t.messages + List.length sites;
       List.iter
@@ -557,7 +559,7 @@ let degrade t =
           t.timeout_aborts <- t.timeout_aborts + 1;
           restart_txn t b ~resume_at:(t.tick + 1 + t.cfg.restart_delay)
       | Some _ | None -> ())
-    (List.sort compare (blocked_txns t))
+    (List.sort Txn_id.compare (blocked_txns t))
 
 (* Wound-wait: an older requester wounds every younger blocker — holders
    roll back to release the entity, younger queued requests requeue
@@ -612,9 +614,7 @@ let crash_site t s downtime =
     t.down.(s) <- true;
     t.up_at.(s) <- t.tick + downtime;
     push t ~at:(t.tick + downtime) (Recover s);
-    let ids =
-      Hashtbl.fold (fun id _ acc -> id :: acc) t.txns [] |> List.sort compare
-    in
+    let ids = Util.sorted_keys Txn_id.compare t.txns in
     (* Coordinators at the site die with it: every growing transaction
        homed there restarts from scratch once the site is back. Shrinking
        transactions are past their commit point and immune — their state
@@ -959,7 +959,9 @@ type stats = {
 }
 
 let stats t =
-  let fold f init = Hashtbl.fold (fun _ ts acc -> f acc ts) t.txns init in
+  let fold f init =
+    Util.fold_sorted Txn_id.compare (fun _ ts acc -> f acc ts) t.txns init
+  in
   {
     ticks = t.tick;
     commits = t.commits;

@@ -1,0 +1,5 @@
+type t = int
+
+let equal = Int.equal
+let compare = Int.compare
+let pp ppf s = Fmt.pf ppf "S%d" s

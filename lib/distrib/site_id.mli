@@ -1,0 +1,14 @@
+(** Site identifiers for the multi-site engine.
+
+    Sites are numbered [0 .. n_sites - 1]; the partition function
+    [Dist_scheduler.site_of] maps entities onto them. As with
+    {!Prb_txn.Txn_id}, comparison sites must use this module's
+    [equal]/[compare] — the static analyzer (rule D2) rejects the
+    polymorphic primitives in replay-critical modules. *)
+
+type t = int
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit
+(** Renders as ["S3"]. *)

@@ -1,6 +1,9 @@
 module Lock_mode = Prb_txn.Lock_mode
+module Txn_id = Prb_txn.Txn_id
+module Entity = Prb_storage.Store.Entity
+module Util = Prb_util.Util
 
-type txn = int
+type txn = Txn_id.t
 type entity = Prb_storage.Store.entity
 type mode = Lock_mode.t
 
@@ -99,7 +102,7 @@ let current_blockers t entry who mode =
       conflicting_queued_ahead entry who mode
     else []
   in
-  List.sort_uniq compare (holders @ queued)
+  List.sort_uniq Txn_id.compare (holders @ queued)
 
 let grant t entry e who mode =
   entry.holding <-
@@ -212,8 +215,7 @@ let cancel_wait t txn =
 let held_by t txn =
   match Hashtbl.find_opt t.held_of txn with
   | None -> []
-  | Some held ->
-      Hashtbl.fold (fun e m acc -> (e, m) :: acc) held [] |> List.sort compare
+  | Some held -> Util.sorted_bindings Entity.compare held
 
 let n_held t txn =
   match Hashtbl.find_opt t.held_of txn with
@@ -234,7 +236,10 @@ let release_all t txn =
 let holders t e =
   match Hashtbl.find_opt t.entries e with
   | None -> []
-  | Some entry -> List.sort compare entry.holding
+  | Some entry ->
+      (* holders are pairwise distinct, so keying the sort on the id alone
+         is a total order *)
+      List.sort (fun (a, _) (b, _) -> Txn_id.compare a b) entry.holding
 
 let waiters t e =
   match Hashtbl.find_opt t.entries e with None -> [] | Some entry -> entry.queue

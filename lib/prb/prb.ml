@@ -10,6 +10,7 @@ module Value = Prb_storage.Value
 module Store = Prb_storage.Store
 
 (* transactions *)
+module Txn_id = Prb_txn.Txn_id
 module Lock_mode = Prb_txn.Lock_mode
 module Expr = Prb_txn.Expr
 module Program = Prb_txn.Program
@@ -40,10 +41,15 @@ module Scenarios = Prb_workload.Scenarios
 module Sim = Prb_sim.Sim
 
 (* distribution *)
+module Site_id = Prb_distrib.Site_id
 module Dist_scheduler = Prb_distrib.Dist_scheduler
 module Dist_sim = Prb_distrib.Dist_sim
 
+(* static analysis *)
+module Lint = Prb_lint.Lint
+
 (* substrates *)
+module Util = Prb_util.Util
 module Rng = Prb_util.Rng
 module Zipf = Prb_util.Zipf
 module Stats = Prb_util.Stats

@@ -9,7 +9,7 @@ let lookup alloc key =
 let segments program =
   List.filter_map
     (fun (key, raw) ->
-      match List.sort_uniq compare raw with
+      match List.sort_uniq Int.compare raw with
       | [] | [ _ ] -> None (* single-segment writers cause no damage *)
       | segs -> Some (key, segs))
     (Program.write_profile program)
@@ -50,7 +50,9 @@ let count_wd program allocation =
 let gain program alloc = count_wd program alloc - count_wd program []
 
 let normalize alloc =
-  List.filter (fun (_, e) -> e > 0) alloc |> List.sort compare
+  (* one entry per object key, so sorting on the key is a total order *)
+  List.filter (fun (_, e) -> e > 0) alloc
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
 let greedy program ~budget =
   let all_chunks = chunks program in

@@ -34,7 +34,8 @@ let of_program program =
 let damage_intervals program =
   let intervals =
     List.map (fun (first, last, _) -> (first, last)) (spans program)
-    |> List.sort compare
+    |> List.sort (fun (a, b) (c, d) ->
+           match Int.compare a c with 0 -> Int.compare b d | n -> n)
   in
   let rec merge = function
     | (a, b) :: (c, d) :: rest when c <= b -> merge ((a, max b d) :: rest)
@@ -59,7 +60,7 @@ let well_defined_via_articulation program =
     let g = of_program program in
     let cuts = Ugraph.articulation_points g in
     let interior = List.filter (fun q -> q > 0 && q < n) cuts in
-    List.sort_uniq compare (0 :: n :: interior)
+    List.sort_uniq Int.compare (0 :: n :: interior)
 
 let to_dot program =
   let n = Program.n_locks program in

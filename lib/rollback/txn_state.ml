@@ -1,5 +1,7 @@
 module Value = Prb_storage.Value
 module Store = Prb_storage.Store
+module Entity = Prb_storage.Store.Entity
+module Util = Prb_util.Util
 module Program = Prb_txn.Program
 module Expr = Prb_txn.Expr
 module Lock_mode = Prb_txn.Lock_mode
@@ -104,8 +106,8 @@ let next_action t =
     | Program.Read _ | Program.Write _ | Program.Assign _ -> Data_step
 
 let all_histories t =
-  Hashtbl.fold (fun _ h acc -> h :: acc) t.locals []
-  |> Hashtbl.fold (fun _ h acc -> h :: acc) t.shadows
+  List.map snd (Util.sorted_bindings String.compare t.locals)
+  @ List.map snd (Util.sorted_bindings Entity.compare t.shadows)
 
 let current_copies t =
   List.fold_left (fun acc h -> acc + History_stack.n_copies h) 0 (all_histories t)
@@ -206,10 +208,9 @@ let perform_unlock t =
 let commit t =
   if not (finished t) then invalid_arg "Txn_state.commit: program not finished";
   let finals =
-    Hashtbl.fold
-      (fun e h acc -> (e, History_stack.current h) :: acc)
-      t.shadows []
-    |> List.sort compare
+    List.map
+      (fun (e, h) -> (e, History_stack.current h))
+      (Util.sorted_bindings Entity.compare t.shadows)
   in
   Hashtbl.reset t.shadows;
   t.phase <- Committed;
@@ -313,8 +314,12 @@ let rollback_to t target =
       in
       let undone, kept = split [] n_undone t.records in
       List.iter (fun r -> Hashtbl.remove t.shadows r.lr_entity) undone;
-      Hashtbl.iter (fun _ h -> History_stack.truncate h target) t.locals;
-      Hashtbl.iter (fun _ h -> History_stack.truncate h target) t.shadows;
+      Util.iter_sorted String.compare
+        (fun _ h -> History_stack.truncate h target)
+        t.locals;
+      Util.iter_sorted Entity.compare
+        (fun _ h -> History_stack.truncate h target)
+        t.shadows;
       t.records <- kept;
       t.lock_idx <- target;
       (* The oldest undone record is the lock request at state [target]:

@@ -1,5 +1,14 @@
 type entity = string
 
+module Entity = struct
+  type t = entity
+
+  let equal = String.equal
+  let compare = String.compare
+  let hash = Hashtbl.hash
+  let pp = Format.pp_print_string
+end
+
 type t = {
   table : (entity, Value.t) Hashtbl.t;
   mutable installs : int;
@@ -29,7 +38,8 @@ let install t e v =
   t.installs <- t.installs + 1
 
 let entities t =
-  Hashtbl.fold (fun e _ acc -> e :: acc) t.table [] |> List.sort compare
+  Hashtbl.fold (fun e _ acc -> e :: acc) t.table []
+  |> List.sort Entity.compare
 
 let size t = Hashtbl.length t.table
 

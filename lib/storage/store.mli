@@ -11,6 +11,18 @@
 type entity = string
 (** Entity names; the paper's a, b, c ... or generated ["e0042"]. *)
 
+(** Explicit comparisons for entity names. Replay-critical modules must
+    compare entities through this module rather than the polymorphic
+    primitives (static-analysis rule D2). *)
+module Entity : sig
+  type t = entity
+
+  val equal : t -> t -> bool
+  val compare : t -> t -> int
+  val hash : t -> int
+  val pp : Format.formatter -> t -> unit
+end
+
 type t
 
 val create : unit -> t

@@ -1,0 +1,6 @@
+type t = int
+
+let equal = Int.equal
+let compare = Int.compare
+let hash = Fun.id
+let pp ppf id = Fmt.pf ppf "T%d" id

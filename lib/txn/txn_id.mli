@@ -1,0 +1,17 @@
+(** Transaction identifiers.
+
+    Ids are assigned densely by the schedulers in submission order, which
+    doubles as the timestamp for age-based policies (wound-wait,
+    wait-die, youngest-victim). The representation is an [int], but
+    comparison sites must use this module's [equal]/[compare] rather than
+    the polymorphic primitives — the static analyzer (rule D2) rejects
+    polymorphic compare in replay-critical modules so that id ordering is
+    explicit and survives a future change of representation. *)
+
+type t = int
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+val pp : Format.formatter -> t -> unit
+(** Renders as ["T42"]. *)

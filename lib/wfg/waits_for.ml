@@ -1,6 +1,7 @@
 module Digraph = Prb_graph.Digraph
+module Txn_id = Prb_txn.Txn_id
 
-type txn = int
+type txn = Txn_id.t
 type entity = Prb_storage.Store.entity
 
 type t = {
@@ -29,7 +30,7 @@ let clear_wait t txn =
     (Digraph.succ t.graph txn)
 
 let set_wait t ~waiter ~holders entity =
-  if List.mem waiter holders then
+  if List.exists (Txn_id.equal waiter) holders then
     invalid_arg "Waits_for.set_wait: waiter among holders";
   clear_wait t waiter;
   List.iter
@@ -58,7 +59,7 @@ let edges t =
     (Digraph.edges t.graph)
 
 let would_deadlock t ~waiter ~holders =
-  List.mem waiter holders
+  List.exists (Txn_id.equal waiter) holders
   || Digraph.path_exists_from_any t.graph holders waiter
 
 let cycles_through ?limit t txn = Digraph.cycles_through ?limit t.graph txn

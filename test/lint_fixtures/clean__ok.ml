@@ -1,0 +1,8 @@
+(* Clean on every rule: sorted traversal, explicit comparators, no ambient
+   state. What the rest of the tree is supposed to look like. *)
+let sorted_sum (tbl : (int, int) Hashtbl.t) =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+  |> List.fold_left (fun acc (_, v) -> acc + v) 0
+
+let same (a : int) (b : int) = Int.equal a b

@@ -1,0 +1,7 @@
+(* Clean: the one real D1 hit is suppressed with the documented escape
+   hatch, and the rest of the file is ordinary deterministic code. *)
+let count (tbl : (int, int) Hashtbl.t) =
+  Hashtbl.fold (fun _ _ n -> n + 1) tbl 0
+[@@lint.allow "D1"]
+
+let double xs = List.map (fun x -> x * 2) xs

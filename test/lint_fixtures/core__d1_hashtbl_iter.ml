@@ -1,0 +1,5 @@
+(* Fires exactly D1: hash-order traversal in a replay-critical library. *)
+let sum_sizes (tbl : (int, int list) Hashtbl.t) =
+  let n = ref 0 in
+  Hashtbl.iter (fun _ vs -> n := !n + List.length vs) tbl;
+  !n

@@ -1,0 +1,2 @@
+(* Fires exactly D2: polymorphic compare where an id module owns the order. *)
+let sort_ids (ids : int list) = List.sort compare ids

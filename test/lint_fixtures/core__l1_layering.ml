@@ -1,0 +1,2 @@
+(* Fires exactly L1: lib/core must not reach into the simulation stack. *)
+let default_trace () = Prb_sim.Sim.run_default ()

@@ -1,0 +1,5 @@
+(* Fires exactly L2: a catch-all arm on the protocol message type means a
+   new message variant would be silently dropped here. *)
+type event = Req_arrive of int | Grant_arrive of int | Crash of int
+
+let is_request = function Req_arrive _ -> true | _ -> false

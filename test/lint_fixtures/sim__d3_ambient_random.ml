@@ -1,0 +1,4 @@
+(* Fires exactly D3: ambient randomness breaks fixed-seed replay. *)
+let jitter () =
+  Random.self_init ();
+  Random.int 100

@@ -1,0 +1,2 @@
+(* Fires exactly D3: wall clock outside the opt-in detection clock. *)
+let stamp () = Unix.gettimeofday ()

@@ -65,7 +65,15 @@ let test_umbrella_surface () =
     = Ok ());
   checkb "dist scheduler config" true
     (Dist_scheduler.default_config.Dist_scheduler.n_sites = 4);
-  checkb "dist sim config" true (Dist_sim.default_config.Dist_sim.mpl = 8)
+  checkb "dist sim config" true (Dist_sim.default_config.Dist_sim.mpl = 8);
+  checkb "txn id" true (Txn_id.equal 3 3 && Txn_id.compare 1 2 < 0);
+  checkb "site id" true (Site_id.equal 0 0 && Site_id.compare 2 1 > 0);
+  checkb "util" true
+    (let tbl = Hashtbl.create 4 in
+     Hashtbl.replace tbl 2 "b";
+     Hashtbl.replace tbl 1 "a";
+     Util.sorted_bindings Int.compare tbl = [ (1, "a"); (2, "b") ]);
+  checkb "lint" true (Lint.rule_of_id "d1" = Some Lint.D1)
 
 let () =
   Alcotest.run "prb_umbrella"
