@@ -550,8 +550,39 @@ let bench_json_arg =
            (conventionally $(b,BENCH_scale.json) at the repo root, the \
            file the CI perf gate uploads).")
 
-let run_bench quick json =
+let bench_compare_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "compare" ] ~docv:"BASELINE"
+        ~doc:
+          "Compare the sweep against the points in $(docv) (a file \
+           previously written with $(b,--json)) and fail when throughput \
+           regressed beyond the tolerance at any matching point.")
+
+let bench_tolerance_arg =
+  Arg.(
+    value & opt float 0.2
+    & info [ "tolerance" ] ~docv:"FRACTION"
+        ~doc:
+          "Allowed $(b,commits_per_sec) drop relative to the baseline \
+           before $(b,--compare) fails (default 0.2 = 20%).")
+
+let run_bench quick json compare tolerance =
   let module Scale = Prb_bench_scale.Scale in
+  (* Read the baseline before --json possibly overwrites the same path. *)
+  let baseline =
+    match compare with
+    | None -> None
+    | Some path -> (
+        try Some (Scale.load ~path) with
+        | Sys_error msg ->
+            Fmt.epr "bench: cannot read baseline: %s@." msg;
+            exit 1
+        | Scale.Parse_error msg ->
+            Fmt.epr "bench: malformed baseline %s: %s@." path msg;
+            exit 1)
+  in
   let points = Scale.sweep ~quick () in
   Scale.print_table points;
   (match json with
@@ -559,7 +590,22 @@ let run_bench quick json =
       Scale.write_json ~path ~quick points;
       Fmt.pr "wrote %s (%d points)@." path (List.length points)
   | None -> ());
-  0
+  match baseline with
+  | None -> 0
+  | Some baseline -> (
+      let failures, compared =
+        Scale.compare_against ~tolerance ~baseline points
+      in
+      match failures with
+      | [] ->
+          Fmt.pr "perf gate: %d point(s) within %.0f%% of baseline@." compared
+            (100.0 *. tolerance);
+          0
+      | _ ->
+          List.iter (fun f -> Fmt.epr "perf gate: REGRESSION %s@." f) failures;
+          Fmt.epr "perf gate: %d of %d compared point(s) regressed@."
+            (List.length failures) compared;
+          1)
 
 let bench_cmd =
   let doc = "run the E13 scaling benchmark (throughput on both engines)" in
@@ -571,12 +617,15 @@ let bench_cmd =
          multi-site engines and reports wall-clock throughput, the share \
          of time spent in deadlock detection, and allocation volume. With \
          $(b,--json) the results also land in a JSON file so successive \
-         changes accumulate a comparable perf trajectory.";
+         changes accumulate a comparable perf trajectory; $(b,--compare) \
+         turns a previous file into a regression gate.";
     ]
   in
   Cmd.v
     (Cmd.info "bench" ~doc ~man)
-    Term.(const run_bench $ bench_quick_arg $ bench_json_arg)
+    Term.(
+      const run_bench $ bench_quick_arg $ bench_json_arg $ bench_compare_arg
+      $ bench_tolerance_arg)
 
 (* --- prb lint: determinism & protocol-invariant static analysis ------- *)
 

@@ -31,10 +31,31 @@ type point = {
 
 val sweep : ?quick:bool -> unit -> point list
 (** Run the full grid: txns ∈ \{100, 1k, 5k\} (quick: \{100, 500\}) ×
-    contention ∈ \{low, high\} × engine ∈ \{central, distrib\}. *)
+    contention ∈ \{low, high\} × engine ∈ \{central, distrib\}. Each
+    point is the fastest of three identical runs — outcomes are
+    deterministic in the seed, so repetition only stabilises the timing
+    figures the regression gate compares. *)
 
 val print_table : point list -> unit
 
 val to_json : ?quick:bool -> point list -> string
 
 val write_json : path:string -> ?quick:bool -> point list -> unit
+
+exception Parse_error of string
+
+val load : path:string -> point list
+(** Read the points back from a file written by {!write_json} (a minimal
+    parser for exactly this module's JSON; [null] floats round-trip as
+    [nan]). @raise Parse_error on malformed input, [Sys_error] on an
+    unreadable path. *)
+
+val compare_against :
+  tolerance:float -> baseline:point list -> point list -> string list * int
+(** Regression gate: match each baseline point to a current point by
+    (engine, txns, contention) and flag those whose [commits_per_sec]
+    fell more than [tolerance] (a fraction, e.g. [0.2]) below baseline.
+    Returns the failure descriptions and the number of points compared;
+    baseline points with no current counterpart (and vice versa) are
+    ignored, so a quick sweep can be gated against a full-grid
+    baseline. *)

@@ -643,8 +643,14 @@ let latency t id =
   | _ -> None
 
 let stats t =
-  let fold f init =
-    Util.fold_sorted Txn_id.compare (fun _ ts acc -> f acc ts) t.txns init
+  (* One sorted pass accumulating all three per-transaction aggregates. *)
+  let ops_lost, ops_executed, peak_copies =
+    Util.fold_sorted Txn_id.compare
+      (fun _ ts (lost, execd, peak) ->
+        ( lost + Txn_state.ops_lost ts,
+          execd + Txn_state.total_executed ts,
+          max peak (Txn_state.peak_copies ts) ))
+      t.txns (0, 0, 0)
   in
   {
     ticks = t.tick;
@@ -654,11 +660,11 @@ let stats t =
     rollbacks = t.rollback_events;
     requeues = t.requeue_events;
     overshoot_ops = t.overshoot_ops;
-    ops_lost = fold (fun acc ts -> acc + Txn_state.ops_lost ts) 0;
+    ops_lost;
     ops_committed = t.ops_committed;
-    ops_executed = fold (fun acc ts -> acc + Txn_state.total_executed ts) 0;
+    ops_executed;
     blocks = Lock_table.n_blocks t.locks;
-    peak_copies = fold (fun acc ts -> max acc (Txn_state.peak_copies ts)) 0;
+    peak_copies;
     optimal_resolutions = t.optimal_resolutions;
     timeouts = t.timeout_events;
     preventions = t.prevention_events;

@@ -81,6 +81,9 @@ type execution = {
   x_faults : int;
   x_all_committed : bool;
   x_serializable : bool;
+  x_witness_ok : bool;
+      (** a serializable verdict came with a serial-order witness — guards
+          the streaming checker's verdict/witness agreement *)
   x_residual_locks : (string * int) list;  (** entity, holders+waiters *)
   x_store : (Store.entity * Value.t) list;
   x_sum_ok : bool;
@@ -113,12 +116,17 @@ let exec_centralized ~seed plan =
     with Scheduler.Stuck msg -> Some msg
   in
   let s = Scheduler.stats sched in
+  let history = Scheduler.history sched in
+  let serializable = History.serializable history in
   {
     x_commits = s.Scheduler.commits;
     x_ticks = s.Scheduler.ticks;
     x_faults = s.Scheduler.txn_crashes;
     x_all_committed = Scheduler.all_committed sched;
-    x_serializable = History.serializable (Scheduler.history sched);
+    x_serializable = serializable;
+    x_witness_ok =
+      (not serializable)
+      || Option.is_some (History.equivalent_serial_order history);
     x_residual_locks = residual_locks (Scheduler.lock_table sched);
     x_store = Store.snapshot store;
     x_sum_ok = Store.Constraint.holds conserved store;
@@ -141,6 +149,8 @@ let exec_distributed ~seed plan =
     with D.Stuck msg -> Some msg
   in
   let s = D.stats sched in
+  let history = D.history sched in
+  let serializable = History.serializable history in
   {
     x_commits = s.D.commits;
     x_ticks = s.D.ticks;
@@ -148,7 +158,10 @@ let exec_distributed ~seed plan =
       s.D.msgs_lost + s.D.msgs_duplicated + s.D.site_crashes
       + s.D.missed_rounds;
     x_all_committed = D.all_committed sched;
-    x_serializable = History.serializable (D.history sched);
+    x_serializable = serializable;
+    x_witness_ok =
+      (not serializable)
+      || Option.is_some (History.equivalent_serial_order history);
     x_residual_locks = residual_locks (D.lock_table sched);
     x_store = Store.snapshot store;
     x_sum_ok = Store.Constraint.holds conserved store;
@@ -169,6 +182,8 @@ let check x =
   if not x.x_all_committed then
     fail "stuck transactions: only %d/%d committed" x.x_commits n_txns;
   if not x.x_serializable then fail "committed history not serializable";
+  if not x.x_witness_ok then
+    fail "serializable verdict without a serial-order witness";
   if not x.x_sum_ok then fail "balance sum not conserved";
   (* Residual rows are orphans only once every owner is gone. *)
   if x.x_all_committed && x.x_residual_locks <> [] then

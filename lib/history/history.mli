@@ -1,8 +1,10 @@
-(** Execution histories and the conflict-serializability check.
+(** Execution histories and the conflict-serializability check —
+    maintained {e streaming}, in bounded memory.
 
     Section 2 of the paper asserts that rollbacks "do not interfere with
     the serializability of the two-phase protocol"; this module is the
-    oracle our property tests use to hold the whole engine to that claim.
+    oracle our property tests and the chaos harness use to hold the whole
+    engine to that claim.
 
     We record, per transaction and entity, the interval during which the
     lock was held (shared intervals are reads, exclusive intervals are
@@ -11,7 +13,25 @@
     released entity was never observed by anyone (the local copy dies, the
     global value never changed), so it must leave no trace in the history.
     Serializability of the {e committed} transactions is then acyclicity
-    of the precedence graph over conflicting intervals. *)
+    of the precedence graph over conflicting intervals.
+
+    Unlike the naive construction (retained as {!History_naive} for
+    differential testing), the conflict graph is maintained online: when a
+    transaction commits, each of its intervals is checked only against the
+    retained committed intervals on the {e same entity} — O(conflicting
+    accessors), not O(all intervals ever). Once a committed transaction
+    has no retained predecessors and lies entirely before the truncation
+    watermark (the earliest grant tick any live transaction can still
+    commit), it is {e folded} into the serial-order prefix and its
+    intervals are dropped, so retained state is proportional to the active
+    window rather than the run length. DESIGN.md §10 gives the argument
+    that folding preserves the verdict exactly.
+
+    Precondition inherited from the engines: ticks passed to {!note_grant}
+    and {!note_release} are non-decreasing over the lifetime of a history
+    (both schedulers' clocks are monotone). The truncation watermark —
+    and therefore verdict equivalence with the naive construction — relies
+    on it. *)
 
 type txn = int
 type entity = Prb_storage.Store.entity
@@ -43,27 +63,53 @@ val discard : t -> txn -> entity -> unit
 
 val discard_txn : t -> txn -> unit
 (** Total removal of a transaction: erase its open intervals and any
-    closed-but-uncommitted ones. *)
+    closed-but-uncommitted ones. O(1) — live state is indexed per
+    transaction, not scanned from a global table. *)
 
 val commit_txn : t -> txn -> unit
-(** Transaction finished; its closed intervals become part of the
-    committed history. @raise Invalid_argument if it still has an open
-    interval. *)
+(** Transaction finished; its closed intervals join the committed history:
+    conflict edges against retained intervals on the same entities are
+    added immediately, and any newly quiescent committed prefix is folded
+    into the serial-order witness. O(own intervals x same-entity retained
+    accessors). @raise Invalid_argument if it still has an open interval
+    (checked in O(1) via the per-transaction open-interval index). *)
 
 val committed : t -> interval list
-(** Committed intervals, sorted by grant tick then txn. *)
+(** {e Retained} committed intervals (those not yet folded into the
+    witness prefix), sorted by grant tick then txn. Small histories whose
+    transactions are still inside the active window see every committed
+    interval here, matching the naive construction. *)
 
 val precedence_graph : t -> Prb_graph.Digraph.t
-(** Vertices: committed transactions. Edge [a -> b] when [a] and [b] hold
-    conflicting locks on an entity and [a]'s interval ends before [b]'s
-    begins. *)
+(** A copy of the retained precedence graph. Vertices: retained committed
+    transactions. Edge [a -> b] when [a] and [b] hold conflicting locks on
+    an entity and [a]'s interval ends before [b]'s begins. Folded
+    transactions and their (prefix -> later) edges are not represented —
+    the witness prefix already orders them. *)
 
 val overlapping_conflicts : t -> (interval * interval) list
 (** Conflicting committed intervals that overlap in time — impossible
-    under a correct lock manager; non-empty means the engine is broken. *)
+    under a correct lock manager; non-empty means the engine is broken.
+    Each pair is reported once, smaller transaction id first, detected at
+    the later commit; recorded violations survive folding. *)
 
 val serializable : t -> bool
-(** No overlapping conflicts and an acyclic precedence graph. *)
+(** No overlapping conflicts and an acyclic precedence graph. Exactly the
+    naive verdict: folding only removes transactions that can no longer
+    lie on any cycle or overlap. *)
 
 val equivalent_serial_order : t -> txn list option
-(** A topological order witnessing serializability, when it holds. *)
+(** A serial order witnessing serializability, when it holds: the folded
+    prefix followed by a topological order of the retained graph. Always a
+    valid linearisation of the full (naive) precedence graph, though not
+    necessarily the same witness the naive construction picks when
+    several are valid. *)
+
+val n_retained_intervals : t -> int
+(** Committed intervals currently retained for conflict checking — the
+    quantity prefix truncation keeps proportional to the active window. *)
+
+val n_retained_txns : t -> int
+
+val n_folded : t -> int
+(** Committed transactions already folded into the witness prefix. *)

@@ -1,10 +1,16 @@
 module Value = Prb_storage.Value
 
+(* One retained version. The cell is mutable so that the write-coalescing
+   fast path (two writes in the same lock segment) updates the value in
+   place instead of re-allocating a cons and a pair per write — the MCS
+   hot path allocates nothing once a segment has its cell. *)
+type cell = { c_idx : int; mutable c_val : Value.t }
+
 type t = {
   budget : int;
   created : int;
   initial : Value.t;
-  mutable versions : (int * Value.t) list; (* newest first; lock indices strictly decreasing *)
+  mutable versions : cell list; (* newest first; lock indices strictly decreasing *)
   mutable n_versions : int;
   mutable damaged : (int * int) list; (* [lo, hi) ascending, disjoint, merged *)
   mutable peak : int;
@@ -25,7 +31,7 @@ let create ~budget ~created_at ~initial =
 let created_at t = t.created
 
 let current t =
-  match t.versions with [] -> t.initial | (_, v) :: _ -> v
+  match t.versions with [] -> t.initial | c :: _ -> c.c_val
 
 let n_versions t = t.n_versions
 let n_copies t = t.n_versions + 1
@@ -60,11 +66,11 @@ let add_damage t lo hi =
 let evict_oldest t =
   let rec split acc = function
     | [] -> assert false
-    | [ (w, _) ] ->
+    | [ last ] ->
         let upper =
-          match acc with [] -> assert false | (w', _) :: _ -> w'
+          match acc with [] -> assert false | c :: _ -> c.c_idx
         in
-        (List.rev acc, w, upper)
+        (List.rev acc, last.c_idx, upper)
     | x :: rest -> split (x :: acc) rest
   in
   let kept, lo, hi = split [] t.versions in
@@ -74,16 +80,16 @@ let evict_oldest t =
 
 let write t ~lock_index value =
   (match t.versions with
-  | (w, _) :: _ when lock_index < w ->
+  | c :: _ when lock_index < c.c_idx ->
       invalid_arg "History_stack.write: lock index went backwards"
   | _ -> ());
   (match t.versions with
-  | (w, _) :: rest when w = lock_index ->
+  | c :: _ when c.c_idx = lock_index ->
       (* Same segment: only the final value of a segment is observable at
-         any lock state, so coalesce. *)
-      t.versions <- (w, value) :: rest
+         any lock state, so coalesce — in place, no allocation. *)
+      c.c_val <- value
   | _ ->
-      t.versions <- (lock_index, value) :: t.versions;
+      t.versions <- { c_idx = lock_index; c_val = value } :: t.versions;
       t.n_versions <- t.n_versions + 1;
       if t.n_versions > t.budget then evict_oldest t);
   if t.n_versions + 1 > t.peak then t.peak <- t.n_versions + 1
@@ -98,21 +104,36 @@ let value_at t q =
   else
     let rec newest_at = function
       | [] -> t.initial
-      | (w, v) :: rest -> if w <= q then v else newest_at rest
+      | c :: rest -> if c.c_idx <= q then c.c_val else newest_at rest
     in
     Some (newest_at t.versions)
 
 let truncate t q =
   if not (is_restorable t q) then
     invalid_arg "History_stack.truncate: target state is damaged";
-  t.versions <- List.filter (fun (w, _) -> w <= q) t.versions;
-  t.n_versions <- List.length t.versions;
-  t.damaged <- List.filter (fun (_, hi) -> hi <= q) t.damaged
+  (* Versions are newest-first with strictly decreasing indices: the
+     survivors are a suffix, shared as-is instead of rebuilt. *)
+  let rec drop n = function
+    | c :: rest when c.c_idx > q -> drop (n + 1) rest
+    | kept -> (n, kept)
+  in
+  let dropped, kept = drop 0 t.versions in
+  t.versions <- kept;
+  t.n_versions <- t.n_versions - dropped;
+  (* Damage intervals are ascending and disjoint, so those ending at or
+     before [q] are a prefix. *)
+  let rec keep = function
+    | (lo, hi) :: rest when hi <= q -> (lo, hi) :: keep rest
+    | _ -> []
+  in
+  t.damaged <- keep t.damaged
 
 let pp ppf t =
   Fmt.pf ppf "@[<h>history(created=%d, current=%a, versions=[%a], damaged=[%a])@]"
     t.created Value.pp (current t)
-    Fmt.(list ~sep:(any "; ") (pair ~sep:(any ":") int Value.pp))
+    Fmt.(
+      list ~sep:(any "; ") (fun ppf c ->
+          pf ppf "%d:%a" c.c_idx Value.pp c.c_val))
     t.versions
     Fmt.(list ~sep:(any "; ") (pair ~sep:(any ",") int int))
     t.damaged

@@ -35,6 +35,10 @@ type t = {
   mutable ops_lost : int;
   mutable monitored_writes : int;
   mutable peak_copies : int;
+  mutable live_copies : int;
+      (* Σ over locals and shadows of History_stack.n_copies, maintained
+         incrementally so the per-operation accounting is O(1) instead of
+         re-summing every history on every step. *)
 }
 
 let create ?(copy_allocation = fun _ -> 0) ~strategy ~id ~store program =
@@ -75,6 +79,7 @@ let create ?(copy_allocation = fun _ -> 0) ~strategy ~id ~store program =
     ops_lost = 0;
     monitored_writes = 0;
     peak_copies = 0;
+    live_copies = List.length program.Program.locals;
   }
 
 let id t = t.id
@@ -109,12 +114,10 @@ let all_histories t =
   List.map snd (Util.sorted_bindings String.compare t.locals)
   @ List.map snd (Util.sorted_bindings Entity.compare t.shadows)
 
-let current_copies t =
-  List.fold_left (fun acc h -> acc + History_stack.n_copies h) 0 (all_histories t)
+let current_copies t = t.live_copies
 
 let note_copies t =
-  let c = current_copies t in
-  if c > t.peak_copies then t.peak_copies <- c
+  if t.live_copies > t.peak_copies then t.peak_copies <- t.live_copies
 
 let lock_granted t =
   (match next_action t with
@@ -125,9 +128,13 @@ let lock_granted t =
           if t.budget = max_int then t.budget
           else t.budget + max 0 (t.copy_allocation ("G:" ^ e))
         in
+        (match Hashtbl.find_opt t.shadows e with
+        | Some old -> t.live_copies <- t.live_copies - History_stack.n_copies old
+        | None -> ());
         Hashtbl.replace t.shadows e
           (History_stack.create ~budget ~created_at:t.lock_idx
-             ~initial:(Store.get t.store e))
+             ~initial:(Store.get t.store e));
+        t.live_copies <- t.live_copies + 1
       end;
       t.lock_idx <- t.lock_idx + 1;
       t.pc <- t.pc + 1;
@@ -161,15 +168,23 @@ let read_view t e =
 
 let n_program_locks t = Program.n_locks t.program
 
+(* A write may add a version, coalesce in place, or trade a new version
+   against an eviction; charge whatever the history's copy count actually
+   did. *)
+let counted_write t h value =
+  let before = History_stack.n_copies h in
+  History_stack.write h ~lock_index:t.lock_idx value;
+  t.live_copies <- t.live_copies + History_stack.n_copies h - before
+
 let write_local t v value =
-  History_stack.write (local_history t v) ~lock_index:t.lock_idx value;
+  counted_write t (local_history t v) value;
   if t.lock_idx < n_program_locks t then
     t.monitored_writes <- t.monitored_writes + 1
 
 let write_entity t e value =
   match Hashtbl.find_opt t.shadows e with
   | Some h ->
-      History_stack.write h ~lock_index:t.lock_idx value;
+      counted_write t h value;
       if t.lock_idx < n_program_locks t then
         t.monitored_writes <- t.monitored_writes + 1
   | None -> invalid_arg "Txn_state: write to entity without exclusive shadow"
@@ -195,6 +210,7 @@ let perform_unlock t =
         match Hashtbl.find_opt t.shadows e with
         | Some h ->
             Hashtbl.remove t.shadows e;
+            t.live_copies <- t.live_copies - History_stack.n_copies h;
             Some (History_stack.current h)
         | None -> None
       in
@@ -207,11 +223,11 @@ let perform_unlock t =
 
 let commit t =
   if not (finished t) then invalid_arg "Txn_state.commit: program not finished";
-  let finals =
-    List.map
-      (fun (e, h) -> (e, History_stack.current h))
-      (Util.sorted_bindings Entity.compare t.shadows)
-  in
+  let bindings = Util.sorted_bindings Entity.compare t.shadows in
+  let finals = List.map (fun (e, h) -> (e, History_stack.current h)) bindings in
+  List.iter
+    (fun (_, h) -> t.live_copies <- t.live_copies - History_stack.n_copies h)
+    bindings;
   Hashtbl.reset t.shadows;
   t.phase <- Committed;
   finals
@@ -227,13 +243,19 @@ let lock_state_of t e =
   in
   scan (t.lock_idx - 1) t.records
 
+(* Restorability sweeps probe many lock states against the same set of
+   histories; [all_histories] (a sort of every binding) is hoisted out of
+   the per-state loop. *)
+let restorable_all hists q =
+  List.for_all (fun h -> History_stack.is_restorable h q) hists
+
 let well_defined t q =
   if q < 0 || q > t.lock_idx then false
-  else
-    List.for_all (fun h -> History_stack.is_restorable h q) (all_histories t)
+  else restorable_all (all_histories t) q
 
 let well_defined_states t =
-  List.filter (well_defined t) (List.init (t.lock_idx + 1) Fun.id)
+  let hists = all_histories t in
+  List.filter (restorable_all hists) (List.init (t.lock_idx + 1) Fun.id)
 
 (* The pseudo-target [restart_target] (-1) is a full restart: reset to
    pc 0 with declared initial locals and re-execute everything, the
@@ -251,9 +273,10 @@ let rollback_target t e =
       | Strategy.Total -> restart_target
       | Strategy.Mcs -> k
       | Strategy.Sdg | Strategy.Sdg_k _ ->
+          let hists = all_histories t in
           let rec best q =
             if q < 0 then restart_target
-            else if well_defined t q then q
+            else if restorable_all hists q then q
             else best (q - 1)
           in
           best k)
@@ -296,6 +319,7 @@ let rollback_to t target =
          whole program, pre-lock prefix included, re-executes. *)
       reset_locals t;
       Hashtbl.reset t.shadows;
+      t.live_copies <- List.length t.program.Program.locals;
       t.records <- [];
       t.lock_idx <- 0;
       t.pc <- 0;
@@ -313,13 +337,21 @@ let rollback_to t target =
           | r :: rest -> split (r :: acc) (k - 1) rest
       in
       let undone, kept = split [] n_undone t.records in
-      List.iter (fun r -> Hashtbl.remove t.shadows r.lr_entity) undone;
-      Util.iter_sorted String.compare
-        (fun _ h -> History_stack.truncate h target)
-        t.locals;
-      Util.iter_sorted Entity.compare
-        (fun _ h -> History_stack.truncate h target)
-        t.shadows;
+      List.iter
+        (fun r ->
+          match Hashtbl.find_opt t.shadows r.lr_entity with
+          | Some h ->
+              t.live_copies <- t.live_copies - History_stack.n_copies h;
+              Hashtbl.remove t.shadows r.lr_entity
+          | None -> ())
+        undone;
+      let counted_truncate _ h =
+        let before = History_stack.n_copies h in
+        History_stack.truncate h target;
+        t.live_copies <- t.live_copies + History_stack.n_copies h - before
+      in
+      Util.iter_sorted String.compare counted_truncate t.locals;
+      Util.iter_sorted Entity.compare counted_truncate t.shadows;
       t.records <- kept;
       t.lock_idx <- target;
       (* The oldest undone record is the lock request at state [target]:

@@ -45,11 +45,19 @@ let size t = Hashtbl.length t.table
 
 let snapshot t = List.map (fun e -> (e, get t e)) (entities t)
 
+(* Size check then single-pass membership lookup — no sorted snapshots.
+   Equal sizes make the one-directional containment an equality. *)
 let equal_state a b =
-  List.length (snapshot a) = List.length (snapshot b)
-  && List.for_all2
-       (fun (ea, va) (eb, vb) -> String.equal ea eb && Value.equal va vb)
-       (snapshot a) (snapshot b)
+  size a = size b
+  && (try
+        Hashtbl.iter
+          (fun e va ->
+            match find_opt b e with
+            | Some vb when Value.equal va vb -> ()
+            | _ -> raise Exit)
+          a.table;
+        true
+      with Exit -> false)
 
 let install_count t = t.installs
 

@@ -73,12 +73,19 @@ let draw_entities zipf rng k =
   in
   draw [] k 0
 
-let generate_one params rng ~name =
+let generate_one ?zipf params rng ~name =
   if params.min_locks < 1 || params.max_locks < params.min_locks then
     invalid_arg "Generator: bad lock bounds";
   if params.max_locks > params.n_entities then
     invalid_arg "Generator: more locks than entities";
-  let zipf = Zipf.make ~n:params.n_entities ~theta:params.zipf_theta in
+  (* The sampler's rank table is O(n_entities) floats and deterministic in
+     [params]; callers generating many programs pass one shared table
+     instead of paying that allocation per transaction. *)
+  let zipf =
+    match zipf with
+    | Some z -> z
+    | None -> Zipf.make ~n:params.n_entities ~theta:params.zipf_theta
+  in
   let k =
     Rng.int_in rng params.min_locks (min params.max_locks params.n_entities)
   in
@@ -149,5 +156,6 @@ let generate_one params rng ~name =
 
 let generate params ~seed ~n =
   let rng = Rng.make seed in
+  let zipf = Zipf.make ~n:params.n_entities ~theta:params.zipf_theta in
   List.init n (fun i ->
-      generate_one params (Rng.split rng) ~name:(Printf.sprintf "w%04d" i))
+      generate_one ~zipf params (Rng.split rng) ~name:(Printf.sprintf "w%04d" i))

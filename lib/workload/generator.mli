@@ -45,8 +45,13 @@ val populate : params -> Prb_storage.Store.t
 (** A store holding entities [e0000 .. e(n-1)], each initialised to a
     deterministic value. *)
 
-val generate_one : params -> Prb_util.Rng.t -> name:string -> Prb_txn.Program.t
-(** One valid program drawn from the distribution. *)
+val generate_one :
+  ?zipf:Prb_util.Zipf.t -> params -> Prb_util.Rng.t -> name:string ->
+  Prb_txn.Program.t
+(** One valid program drawn from the distribution. [zipf] supplies a
+    pre-built sampler for [n_entities]/[zipf_theta] — the table is
+    deterministic in the params, so sharing it across calls changes
+    nothing but the allocation bill; omitted, a fresh one is built. *)
 
 val generate : params -> seed:int -> n:int -> Prb_txn.Program.t list
 (** [n] programs named ["w0000" ...], deterministic in [seed]. Every

@@ -125,6 +125,22 @@ let test_hs_peak_copies () =
   History_stack.truncate h 0;
   checki "peak survives truncation" 3 (History_stack.peak_copies h)
 
+let test_hs_coalesce_after_truncate () =
+  let h = History_stack.create ~budget:max_int ~created_at:0 ~initial:(vint 0) in
+  History_stack.write h ~lock_index:1 (vint 1);
+  History_stack.write h ~lock_index:3 (vint 3);
+  History_stack.truncate h 2;
+  (* The survivors of a truncate are kept as-is; a same-segment write into
+     the surviving newest version coalesces in place without disturbing
+     earlier states. *)
+  History_stack.write h ~lock_index:1 (vint 7);
+  checki "still one version" 1 (History_stack.n_versions h);
+  checkb "coalesced value wins" true
+    (Value.equal (History_stack.current h) (vint 7));
+  checkb "initial untouched" true (History_stack.value_at h 0 = Some (vint 0));
+  checkb "covers later states" true
+    (History_stack.value_at h 5 = Some (vint 7))
+
 let test_hs_backwards_write_rejected () =
   let h = History_stack.create ~budget:max_int ~created_at:0 ~initial:(vint 0) in
   History_stack.write h ~lock_index:3 (vint 3);
@@ -393,6 +409,49 @@ let test_txn_monitored_writes () =
   in
   advance_to ts2 8;
   checkb "spread writes are monitored" true (Txn_state.monitored_writes ts2 > 0)
+
+(* The incremental copy counter must track the histories through every
+   path that touches them: shadow creation, fresh and coalescing writes,
+   unlock, partial rollback (shadow drops + truncation) and restart. *)
+let test_txn_copy_accounting () =
+  let store = Store.of_list [ ("E0", vint 10); ("E1", vint 20) ] in
+  let p =
+    Program.make ~name:"copies"
+      ~locals:[ ("v", vint 0) ]
+      [
+        Program.lock_x "E0";
+        Program.write "E0" (Expr.int 1);
+        Program.write "E0" (Expr.int 2);
+        Program.lock_x "E1";
+        Program.write "E1" (Expr.int 3);
+        Program.assign "v" (Expr.int 4);
+        Program.unlock "E0";
+        Program.unlock "E1";
+      ]
+  in
+  let ts = Txn_state.create ~strategy:Strategy.Mcs ~id:0 ~store p in
+  checki "initial: the local's saved initial" 1 (Txn_state.current_copies ts);
+  Txn_state.lock_granted ts (* lock E0: shadow initial *);
+  checki "after lock E0" 2 (Txn_state.current_copies ts);
+  Txn_state.exec_data_op ts (* write E0: new version *);
+  checki "after first write" 3 (Txn_state.current_copies ts);
+  Txn_state.exec_data_op ts (* same-segment write: coalesces *);
+  checki "coalesced write adds nothing" 3 (Txn_state.current_copies ts);
+  Txn_state.lock_granted ts (* lock E1 *);
+  checki "after lock E1" 4 (Txn_state.current_copies ts);
+  Txn_state.exec_data_op ts (* write E1 *);
+  checki "after E1 write" 5 (Txn_state.current_copies ts);
+  Txn_state.exec_data_op ts (* assign v *);
+  checki "after assign" 6 (Txn_state.current_copies ts);
+  (* Partial rollback to L_1: E1's shadow (2 copies) goes, the v version
+     written at lock index 2 truncates away; E0's write at index 1 stays. *)
+  let released = Txn_state.rollback_to ts 1 in
+  checkb "E1 released" true (released = [ "E1" ]);
+  checki "after partial rollback" 3 (Txn_state.current_copies ts);
+  checki "peak saw the high-water mark" 6 (Txn_state.peak_copies ts);
+  (* Full restart: only the declared local's initial remains charged. *)
+  let _ = Txn_state.rollback_to ts Txn_state.restart_target in
+  checki "after restart" 1 (Txn_state.current_copies ts)
 
 (* --- Oracle properties ------------------------------------------------ *)
 
@@ -701,6 +760,8 @@ let () =
           Alcotest.test_case "budget k" `Quick test_hs_budget_k;
           Alcotest.test_case "truncate" `Quick test_hs_truncate;
           Alcotest.test_case "truncate damaged" `Quick test_hs_truncate_damaged_rejected;
+          Alcotest.test_case "coalesce after truncate" `Quick
+            test_hs_coalesce_after_truncate;
           Alcotest.test_case "peak copies" `Quick test_hs_peak_copies;
           Alcotest.test_case "backwards write" `Quick test_hs_backwards_write_rejected;
           QCheck_alcotest.to_alcotest qcheck_hs_agrees_with_unbounded;
@@ -726,6 +787,7 @@ let () =
             test_txn_rollback_requires_growing;
           Alcotest.test_case "commit values" `Quick test_txn_commit_values;
           Alcotest.test_case "monitored writes" `Quick test_txn_monitored_writes;
+          Alcotest.test_case "copy accounting" `Quick test_txn_copy_accounting;
         ] );
       ( "oracle properties",
         [

@@ -91,6 +91,19 @@ let test_store_snapshot_equal () =
   Store.install b "x" (Value.int 9);
   checkb "diverged" false (Store.equal_state a b)
 
+let test_store_equal_state_edges () =
+  let empty1 = Store.create () and empty2 = Store.create () in
+  checkb "empty stores equal" true (Store.equal_state empty1 empty2);
+  (* Same size, different key sets: the lookup pass must reject. *)
+  let a = Store.of_list [ ("x", Value.int 1); ("y", Value.int 2) ] in
+  let b = Store.of_list [ ("x", Value.int 1); ("z", Value.int 2) ] in
+  checkb "same size, different keys" false (Store.equal_state a b);
+  checkb "asymmetric arg order too" false (Store.equal_state b a);
+  (* Subset: sizes differ. *)
+  let c = Store.of_list [ ("x", Value.int 1) ] in
+  checkb "strict subset" false (Store.equal_state c a);
+  checkb "strict superset" false (Store.equal_state a c)
+
 (* --- Constraints --- *)
 
 let test_constraint_sum () =
@@ -144,6 +157,8 @@ let () =
           Alcotest.test_case "install" `Quick test_store_install;
           Alcotest.test_case "entities sorted" `Quick test_store_entities_sorted;
           Alcotest.test_case "snapshot equality" `Quick test_store_snapshot_equal;
+          Alcotest.test_case "equal_state edge cases" `Quick
+            test_store_equal_state_edges;
           QCheck_alcotest.to_alcotest qcheck_install_get;
         ] );
       ( "constraint",

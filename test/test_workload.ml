@@ -28,6 +28,21 @@ let test_generate_deterministic () =
   let c = Generator.generate ps ~seed:10 ~n:20 in
   checkb "different seed differs" false (List.for_all2 Program.equal a c)
 
+let test_shared_zipf_is_transparent () =
+  (* The sampler table is deterministic in the params, so passing one
+     shared instance must change nothing about the drawn programs. *)
+  let ps = Generator.default_params in
+  let zipf =
+    Prb_util.Zipf.make ~n:ps.Generator.n_entities ~theta:ps.Generator.zipf_theta
+  in
+  List.iter
+    (fun seed ->
+      let rng1 = Prb_util.Rng.make seed and rng2 = Prb_util.Rng.make seed in
+      let fresh = Generator.generate_one ps rng1 ~name:"w" in
+      let shared = Generator.generate_one ~zipf ps rng2 ~name:"w" in
+      checkb "fresh and shared sampler agree" true (Program.equal fresh shared))
+    [ 1; 7; 42 ]
+
 let test_generate_valid () =
   List.iter
     (fun seed ->
@@ -235,6 +250,8 @@ let () =
         [
           Alcotest.test_case "populate" `Quick test_populate;
           Alcotest.test_case "deterministic" `Quick test_generate_deterministic;
+          Alcotest.test_case "shared zipf transparent" `Quick
+            test_shared_zipf_is_transparent;
           Alcotest.test_case "always valid" `Quick test_generate_valid;
           Alcotest.test_case "lock bounds" `Quick test_lock_bounds_respected;
           Alcotest.test_case "read fraction extremes" `Quick test_read_fraction_extremes;
