@@ -18,6 +18,7 @@ let sections =
     ("E10", "distributed systems", Exp_distrib.run);
     ("E12", "fault injection and recovery", Exp_faults.run);
     ("E13", "scaling sweep (writes BENCH_scale.json)", Exp_scale.run);
+    ("E14", "detection-policy sweep (deferral vs eager)", Exp_policies.run);
     ("MICRO", "hot-path micro-benchmarks", Micro.run);
   ]
 

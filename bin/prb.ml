@@ -131,6 +131,40 @@ let intervention_arg =
           "Deadlock handling: $(b,detect) (the paper), $(b,timeout:N), \
            $(b,wound-wait) or $(b,wait-die).")
 
+let detection_policy_conv =
+  let module DP = Prb_core.Detection_policy in
+  let parse s =
+    match DP.of_string s with
+    | Some v -> Ok v
+    | None -> Error (`Msg (Printf.sprintf "unknown detection policy %S" s))
+  in
+  Arg.conv (parse, DP.pp)
+
+let detection_policy_doc =
+  "When to run deadlock detection: $(b,eager) (at every blocked request), \
+   $(b,periodic:N) (a sweep every N ticks), $(b,lazy:B) or $(b,lazy:B:K) \
+   (a targeted probe after B blocked ticks, backing off up to K doublings \
+   on misses) or $(b,adaptive) (a sweep whose period tracks the \
+   deadlock-arrival rate). Deferred policies are backstopped by a stall \
+   watchdog."
+
+let detection_policy_arg ~names =
+  let module DP = Prb_core.Detection_policy in
+  Arg.(
+    value
+    & opt detection_policy_conv DP.Eager
+    & info names ~docv:"POLICY" ~doc:detection_policy_doc)
+
+let starvation_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "starvation" ] ~docv:"K"
+        ~doc:
+          "Starvation guard: a transaction rolled back $(docv) times \
+           becomes immune to victim selection (overridden only when a \
+           cycle offers nobody else). Off by default.")
+
 let params_of ~entities ~theta ~reads ~locks ~clustering ~three_phase =
   let min_locks, max_locks = locks in
   {
@@ -146,8 +180,8 @@ let params_of ~entities ~theta ~reads ~locks ~clustering ~three_phase =
 
 (* --- prb sim ---------------------------------------------------------- *)
 
-let run_sim strategy policy intervention seed txns mpl entities theta reads
-    locks clustering three_phase max_ticks =
+let run_sim strategy policy intervention detection starvation_limit seed txns
+    mpl entities theta reads locks clustering three_phase max_ticks =
   let params =
     params_of ~entities ~theta ~reads ~locks ~clustering ~three_phase
   in
@@ -159,6 +193,8 @@ let run_sim strategy policy intervention seed txns mpl entities theta reads
           strategy;
           policy;
           intervention;
+          detection;
+          starvation_limit;
           seed;
           max_ticks;
         };
@@ -178,9 +214,11 @@ let sim_cmd =
   Cmd.v
     (Cmd.info "sim" ~doc)
     Term.(
-      const run_sim $ strategy_arg $ policy_arg $ intervention_arg $ seed_arg
-      $ txns_arg $ mpl_arg $ entities_arg $ theta_arg $ read_frac_arg
-      $ locks_arg $ clustering_arg $ three_phase_arg $ max_ticks_arg)
+      const run_sim $ strategy_arg $ policy_arg $ intervention_arg
+      $ detection_policy_arg ~names:[ "detection" ]
+      $ starvation_arg $ seed_arg $ txns_arg $ mpl_arg $ entities_arg
+      $ theta_arg $ read_frac_arg $ locks_arg $ clustering_arg
+      $ three_phase_arg $ max_ticks_arg)
 
 (* --- prb sweep -------------------------------------------------------- *)
 
@@ -270,8 +308,8 @@ let detection_arg =
           "Global-deadlock handling: a detection period in ticks, or \
            $(b,wound-wait).")
 
-let run_distrib strategy policy seed txns mpl sites detection entities theta
-    reads locks max_ticks =
+let run_distrib strategy policy seed txns mpl sites detection detection_policy
+    starvation_limit entities theta reads locks max_ticks =
   let params =
     params_of ~entities ~theta ~reads ~locks ~clustering:0.5
       ~three_phase:false
@@ -285,6 +323,8 @@ let run_distrib strategy policy seed txns mpl sites detection entities theta
           D.default_config with
           n_sites = sites;
           detection;
+          detection_policy;
+          starvation_limit;
           strategy;
           policy;
           seed;
@@ -303,8 +343,10 @@ let distrib_cmd =
     (Cmd.info "distrib" ~doc)
     Term.(
       const run_distrib $ strategy_arg $ policy_arg $ seed_arg $ txns_arg
-      $ mpl_arg $ sites_arg $ detection_arg $ entities_arg $ theta_arg
-      $ read_frac_arg $ locks_arg $ max_ticks_arg)
+      $ mpl_arg $ sites_arg $ detection_arg
+      $ detection_policy_arg ~names:[ "detection-policy" ]
+      $ starvation_arg $ entities_arg $ theta_arg $ read_frac_arg $ locks_arg
+      $ max_ticks_arg)
 
 (* --- prb run: execute transactions from a file ------------------------ *)
 
@@ -501,9 +543,23 @@ let chaos_verbose_arg =
     value & flag
     & info [ "verbose"; "v" ] ~doc:"Print every report, not just failures.")
 
-let run_chaos seeds horizon verbose =
+let chaos_matrix_arg =
+  Arg.(
+    value & flag
+    & info [ "matrix" ]
+        ~doc:
+          "Also run the detection-policy liveness matrix: every policy \
+           (eager, periodic, lazy, adaptive) on both engines, under a \
+           clean plan and a detector-outage plan, with the starvation \
+           guard armed — checking the usual invariants plus the \
+           no-starvation bound.")
+
+let run_chaos seeds horizon verbose matrix =
   let module Chaos = Prb_chaos.Chaos in
-  let reports = Chaos.sweep ~horizon ~seeds () in
+  let reports =
+    Chaos.sweep ~horizon ~seeds ()
+    @ (if matrix then Chaos.policy_matrix ~seeds () else [])
+  in
   if verbose then
     List.iter (fun r -> Fmt.pr "%a@.@." Chaos.pp_report r) reports;
   let bad = Chaos.failures reports in
@@ -530,7 +586,7 @@ let chaos_cmd =
     (Cmd.info "chaos" ~doc ~man)
     Term.(
       const run_chaos $ chaos_seeds_arg $ chaos_horizon_arg
-      $ chaos_verbose_arg)
+      $ chaos_verbose_arg $ chaos_matrix_arg)
 
 (* --- prb bench: the E13 scaling sweep --------------------------------- *)
 
@@ -568,7 +624,27 @@ let bench_tolerance_arg =
           "Allowed $(b,commits_per_sec) drop relative to the baseline \
            before $(b,--compare) fails (default 0.2 = 20%).")
 
-let run_bench quick json compare tolerance =
+let bench_policies_arg =
+  Arg.(
+    value & flag
+    & info [ "policies" ]
+        ~doc:
+          "Also run the E14 detection-policy sweep (policy × contention × \
+           detector outage on the centralised engine) and report each \
+           policy's wall-time speedup over eager detection at equal \
+           commits.")
+
+let bench_gate_speedup_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "gate-speedup" ] ~docv:"X"
+        ~doc:
+          "With $(b,--policies): fail unless some deferred policy cuts \
+           central high-contention wall time by at least a factor of \
+           $(docv) (at equal commits, outage-free).")
+
+let run_bench quick json compare tolerance policies gate_speedup =
   let module Scale = Prb_bench_scale.Scale in
   (* Read the baseline before --json possibly overwrites the same path. *)
   let baseline =
@@ -585,27 +661,74 @@ let run_bench quick json compare tolerance =
   in
   let points = Scale.sweep ~quick () in
   Scale.print_table points;
+  let policy_points =
+    if policies then begin
+      let pts = Scale.sweep_policies ~quick () in
+      Scale.print_policy_table pts;
+      (match Scale.best_central_speedup pts with
+      | Some (policy, s) ->
+          Fmt.pr
+            "policy gate: best high-contention speedup over eager: %.2fx \
+             (%s)@."
+            s policy
+      | None ->
+          Fmt.pr
+            "policy gate: no deferred policy matched eager's commits at high \
+             contention@.");
+      pts
+    end
+    else []
+  in
   (match json with
   | Some path ->
-      Scale.write_json ~path ~quick points;
-      Fmt.pr "wrote %s (%d points)@." path (List.length points)
+      Scale.write_json ~path ~quick ~policies:policy_points points;
+      Fmt.pr "wrote %s (%d points)@." path
+        (List.length points + List.length policy_points)
   | None -> ());
-  match baseline with
-  | None -> 0
-  | Some baseline -> (
-      let failures, compared =
-        Scale.compare_against ~tolerance ~baseline points
-      in
-      match failures with
-      | [] ->
-          Fmt.pr "perf gate: %d point(s) within %.0f%% of baseline@." compared
-            (100.0 *. tolerance);
-          0
-      | _ ->
-          List.iter (fun f -> Fmt.epr "perf gate: REGRESSION %s@." f) failures;
-          Fmt.epr "perf gate: %d of %d compared point(s) regressed@."
-            (List.length failures) compared;
-          1)
+  let policy_gate_failed =
+    match gate_speedup with
+    | None -> false
+    | Some want -> (
+        if not policies then begin
+          Fmt.epr "bench: --gate-speedup requires --policies@.";
+          true
+        end
+        else
+          match Scale.best_central_speedup policy_points with
+          | Some (policy, s) when s >= want ->
+              Fmt.pr "policy gate: PASS %.2fx >= %.2fx (%s)@." s want policy;
+              false
+          | Some (policy, s) ->
+              Fmt.epr "policy gate: FAIL best speedup %.2fx (%s) < %.2fx@." s
+                policy want;
+              true
+          | None ->
+              Fmt.epr
+                "policy gate: FAIL no deferred policy matched eager's \
+                 commits@.";
+              true)
+  in
+  let compare_failed =
+    match baseline with
+    | None -> false
+    | Some baseline -> (
+        let failures, compared =
+          Scale.compare_against ~tolerance ~baseline points
+        in
+        match failures with
+        | [] ->
+            Fmt.pr "perf gate: %d point(s) within %.0f%% of baseline@."
+              compared (100.0 *. tolerance);
+            false
+        | _ ->
+            List.iter
+              (fun f -> Fmt.epr "perf gate: REGRESSION %s@." f)
+              failures;
+            Fmt.epr "perf gate: %d of %d compared point(s) regressed@."
+              (List.length failures) compared;
+            true)
+  in
+  if policy_gate_failed || compare_failed then 1 else 0
 
 let bench_cmd =
   let doc = "run the E13 scaling benchmark (throughput on both engines)" in
@@ -625,7 +748,7 @@ let bench_cmd =
     (Cmd.info "bench" ~doc ~man)
     Term.(
       const run_bench $ bench_quick_arg $ bench_json_arg $ bench_compare_arg
-      $ bench_tolerance_arg)
+      $ bench_tolerance_arg $ bench_policies_arg $ bench_gate_speedup_arg)
 
 (* --- prb lint: determinism & protocol-invariant static analysis ------- *)
 

@@ -1,5 +1,7 @@
 module Table = Prb_util.Table
 module Scheduler = Prb_core.Scheduler
+module Detection_policy = Prb_core.Detection_policy
+module Fault = Prb_fault.Fault
 module Sim = Prb_sim.Sim
 module Strategy = Prb_rollback.Strategy
 module Generator = Prb_workload.Generator
@@ -172,6 +174,192 @@ let sweep ?(quick = false) () =
         txn_counts)
     [ `Low; `High ]
 
+(* --- E14: the detection-policy sweep ---------------------------------- *)
+
+type policy_point = {
+  p_policy : string;
+  p_contention : string;
+  p_txns : int;
+  p_outage : bool;
+  p_commits : int;
+  p_ticks : int;
+  p_deadlocks : int;
+  p_rollbacks : int;
+  p_wall_seconds : float;
+  p_commits_per_sec : float;
+  p_detect_seconds : float;
+  p_detect_share : float;
+  p_detect_calls : int;
+  p_detection_passes : int;
+  p_watchdog_fires : int;
+  p_max_blocked_ticks : int;
+}
+
+(* The guard is armed on every E14 point so the sweep measures the
+   production configuration of the deferred policies, not an
+   unprotected one. *)
+let policy_starvation_limit = 8
+
+(* The detector is dark for a 1000-tick window early in the run — long
+   enough to swallow many scheduled passes of every policy, early enough
+   that the watchdog's forced recovery sweep still has most of the run
+   left to show up in the timing. *)
+let policy_outage_plan =
+  {
+    Fault.none with
+    Fault.fault_seed = seed;
+    detector_outages = [ { Fault.out_from = 200; out_until = 1200 } ];
+  }
+
+let run_policy ~detection ~contention ~txns ~outage =
+  let _, _, params = params_of ~contention ~txns in
+  let config =
+    {
+      Sim.scheduler =
+        {
+          Scheduler.default_config with
+          strategy = Strategy.Sdg;
+          seed;
+          max_ticks;
+          clock = Some Unix.gettimeofday;
+          detection;
+          starvation_limit = Some policy_starvation_limit;
+          faults = (if outage then Some policy_outage_plan else None);
+        };
+      mpl;
+    }
+  in
+  let r, wall, _ =
+    measure (fun () -> Sim.run_generated ~config ~params ~seed ~n_txns:txns ())
+  in
+  let s = r.Sim.stats in
+  {
+    p_policy = Detection_policy.to_string detection;
+    p_contention = contention_name contention;
+    p_txns = txns;
+    p_outage = outage;
+    p_commits = s.Scheduler.commits;
+    p_ticks = s.Scheduler.ticks;
+    p_deadlocks = s.Scheduler.deadlocks;
+    p_rollbacks = s.Scheduler.rollbacks;
+    p_wall_seconds = wall;
+    p_commits_per_sec =
+      (if wall > 0.0 then float_of_int s.Scheduler.commits /. wall else nan);
+    p_detect_seconds = r.Sim.detect_seconds;
+    p_detect_share = (if wall > 0.0 then r.Sim.detect_seconds /. wall else nan);
+    p_detect_calls = r.Sim.detect_calls;
+    p_detection_passes = s.Scheduler.detection_passes;
+    p_watchdog_fires = s.Scheduler.watchdog_fires;
+    p_max_blocked_ticks = s.Scheduler.max_blocked_ticks;
+  }
+
+let best_of_policy f =
+  let rec go best k =
+    if k = 0 then best
+    else
+      let p = f () in
+      go (if p.p_wall_seconds < best.p_wall_seconds then p else best) (k - 1)
+  in
+  go (f ()) (reps - 1)
+
+let sweep_policies ?(quick = false) () =
+  let txns = if quick then 500 else 5000 in
+  List.concat_map
+    (fun contention ->
+      List.concat_map
+        (fun outage ->
+          List.map
+            (fun detection ->
+              best_of_policy (fun () ->
+                  run_policy ~detection ~contention ~txns ~outage))
+            Detection_policy.all)
+        [ false; true ])
+    [ `Low; `High ]
+
+(* Speedups relative to the eager point of the same (contention, outage,
+   txns) cell — only claimed at equal commits, so a policy cannot "win"
+   by finishing fewer transactions. *)
+let policy_speedups pts =
+  List.filter_map
+    (fun p ->
+      if String.equal p.p_policy "eager" then None
+      else
+        match
+          List.find_opt
+            (fun e ->
+              String.equal e.p_policy "eager"
+              && String.equal e.p_contention p.p_contention
+              && e.p_outage = p.p_outage && e.p_txns = p.p_txns)
+            pts
+        with
+        | Some e when e.p_commits = p.p_commits && p.p_wall_seconds > 0.0 ->
+            Some (p, e.p_wall_seconds /. p.p_wall_seconds)
+        | _ -> None)
+    pts
+
+let best_central_speedup pts =
+  policy_speedups pts
+  |> List.filter (fun (p, _) ->
+         String.equal p.p_contention "high" && not p.p_outage)
+  |> List.fold_left
+       (fun acc (p, s) ->
+         match acc with
+         | Some (_, s0) when s0 >= s -> acc
+         | _ -> Some (p.p_policy, s))
+       None
+
+let print_policy_table pts =
+  let speedups = policy_speedups pts in
+  let speedup_cell p =
+    if String.equal p.p_policy "eager" then "1.00x"
+    else
+      match
+        List.find_opt (fun (q, _) -> q == p) speedups
+      with
+      | Some (_, s) -> Printf.sprintf "%.2fx" s
+      | None -> "-" (* unequal commits: no comparable speedup *)
+  in
+  let table =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "E14: detection-policy sweep (central, mpl %d, seed %d, \
+            starvation limit %d)"
+           mpl seed policy_starvation_limit)
+      [
+        ("policy", Table.Left);
+        ("contention", Table.Left);
+        ("outage", Table.Left);
+        ("commits", Table.Right);
+        ("deadlocks", Table.Right);
+        ("wall s", Table.Right);
+        ("speedup", Table.Right);
+        ("detect share", Table.Right);
+        ("passes", Table.Right);
+        ("watchdog", Table.Right);
+        ("max blocked", Table.Right);
+      ]
+  in
+  List.iter
+    (fun p ->
+      Table.add_row table
+        [
+          p.p_policy;
+          p.p_contention;
+          (if p.p_outage then "yes" else "no");
+          Table.cell_int p.p_commits;
+          Table.cell_int p.p_deadlocks;
+          Table.cell_float ~decimals:3 p.p_wall_seconds;
+          speedup_cell p;
+          (if Float.is_nan p.p_detect_share then "-"
+           else Table.cell_pct p.p_detect_share);
+          Table.cell_int p.p_detection_passes;
+          Table.cell_int p.p_watchdog_fires;
+          Table.cell_int p.p_max_blocked_ticks;
+        ])
+    pts;
+  Table.print table
+
 let print_table points =
   let table =
     Table.create
@@ -241,7 +429,31 @@ let point_to_json p =
       "}";
     ]
 
-let to_json ?(quick = false) points =
+let policy_point_to_json p =
+  String.concat ""
+    [
+      "    {";
+      Printf.sprintf "\"policy\": %S, " p.p_policy;
+      Printf.sprintf "\"contention\": %S, " p.p_contention;
+      Printf.sprintf "\"txns\": %d, " p.p_txns;
+      Printf.sprintf "\"outage\": %b, " p.p_outage;
+      Printf.sprintf "\"commits\": %d, " p.p_commits;
+      Printf.sprintf "\"ticks\": %d, " p.p_ticks;
+      Printf.sprintf "\"deadlocks\": %d, " p.p_deadlocks;
+      Printf.sprintf "\"rollbacks\": %d, " p.p_rollbacks;
+      Printf.sprintf "\"wall_seconds\": %s, " (json_float p.p_wall_seconds);
+      Printf.sprintf "\"commits_per_sec\": %s, "
+        (json_float p.p_commits_per_sec);
+      Printf.sprintf "\"detect_seconds\": %s, " (json_float p.p_detect_seconds);
+      Printf.sprintf "\"detect_share\": %s, " (json_float p.p_detect_share);
+      Printf.sprintf "\"detect_calls\": %d, " p.p_detect_calls;
+      Printf.sprintf "\"detection_passes\": %d, " p.p_detection_passes;
+      Printf.sprintf "\"watchdog_fires\": %d, " p.p_watchdog_fires;
+      Printf.sprintf "\"max_blocked_ticks\": %d" p.p_max_blocked_ticks;
+      "}";
+    ]
+
+let to_json ?(quick = false) ?(policies = []) points =
   String.concat "\n"
     ([
        "{";
@@ -254,11 +466,17 @@ let to_json ?(quick = false) points =
        "  \"points\": [";
      ]
     @ [ String.concat ",\n" (List.map point_to_json points) ]
-    @ [ "  ]"; "}"; "" ])
+    @ (match policies with
+      | [] -> [ "  ]" ]
+      | _ ->
+          [ "  ],"; "  \"policy_points\": [" ]
+          @ [ String.concat ",\n" (List.map policy_point_to_json policies) ]
+          @ [ "  ]" ])
+    @ [ "}"; "" ])
 
-let write_json ~path ?(quick = false) points =
+let write_json ~path ?(quick = false) ?(policies = []) points =
   let oc = open_out path in
-  output_string oc (to_json ~quick points);
+  output_string oc (to_json ~quick ~policies points);
   close_out oc
 
 (* --- Reading benchmark JSON back (regression gate) -------------------- *)
@@ -451,14 +669,51 @@ let point_of_json j =
     allocated_mwords = as_float (obj_field "allocated_mwords" j);
   }
 
-let load ~path =
+let as_bool = function
+  | J_bool b -> b
+  | _ -> raise (Parse_error "expected a boolean")
+
+(* Optional lookup: lets a new reader accept files written before a
+   section existed (and vice versa), so --compare keeps working across
+   schema growth. *)
+let obj_field_opt name = function
+  | J_obj fields -> List.assoc_opt name fields
+  | _ -> None
+
+let policy_point_of_json j =
+  {
+    p_policy = as_string (obj_field "policy" j);
+    p_contention = as_string (obj_field "contention" j);
+    p_txns = as_int (obj_field "txns" j);
+    p_outage = as_bool (obj_field "outage" j);
+    p_commits = as_int (obj_field "commits" j);
+    p_ticks = as_int (obj_field "ticks" j);
+    p_deadlocks = as_int (obj_field "deadlocks" j);
+    p_rollbacks = as_int (obj_field "rollbacks" j);
+    p_wall_seconds = as_float (obj_field "wall_seconds" j);
+    p_commits_per_sec = as_float (obj_field "commits_per_sec" j);
+    p_detect_seconds = as_float (obj_field "detect_seconds" j);
+    p_detect_share = as_float (obj_field "detect_share" j);
+    p_detect_calls = as_int (obj_field "detect_calls" j);
+    p_detection_passes = as_int (obj_field "detection_passes" j);
+    p_watchdog_fires = as_int (obj_field "watchdog_fires" j);
+    p_max_blocked_ticks = as_int (obj_field "max_blocked_ticks" j);
+  }
+
+let read_file path =
   let ic = open_in_bin path in
-  let s =
-    Fun.protect
-      ~finally:(fun () -> close_in_noerr ic)
-      (fun () -> really_input_string ic (in_channel_length ic))
-  in
-  List.map point_of_json (as_list (obj_field "points" (parse_json s)))
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let load ~path =
+  List.map point_of_json
+    (as_list (obj_field "points" (parse_json (read_file path))))
+
+let load_policies ~path =
+  match obj_field_opt "policy_points" (parse_json (read_file path)) with
+  | None -> []
+  | Some l -> List.map policy_point_of_json (as_list l)
 
 let same_point a b =
   String.equal a.engine b.engine

@@ -38,17 +38,67 @@ val sweep : ?quick:bool -> unit -> point list
 
 val print_table : point list -> unit
 
-val to_json : ?quick:bool -> point list -> string
+(** {2 E14: the detection-policy sweep}
 
-val write_json : path:string -> ?quick:bool -> point list -> unit
+    One measured cell of policy × contention × detector-outage on the
+    {e centralised} engine, with the starvation guard armed. The sweep
+    answers the deferred-detection question: how much of eager
+    detection's request-path cost does each policy recover, and what does
+    that cost in blocking time (liveness counters ride along). *)
+
+type policy_point = {
+  p_policy : string;  (** {!Prb_core.Detection_policy.to_string} *)
+  p_contention : string;  (** ["low"] or ["high"] *)
+  p_txns : int;
+  p_outage : bool;  (** ran under the detector-outage fault plan *)
+  p_commits : int;
+  p_ticks : int;
+  p_deadlocks : int;
+  p_rollbacks : int;
+  p_wall_seconds : float;
+  p_commits_per_sec : float;
+  p_detect_seconds : float;
+  p_detect_share : float;
+  p_detect_calls : int;
+  p_detection_passes : int;  (** scheduled sweeps/probes that ran *)
+  p_watchdog_fires : int;
+  p_max_blocked_ticks : int;  (** longest completed blocking episode *)
+}
+
+val sweep_policies : ?quick:bool -> unit -> policy_point list
+(** Every {!Prb_core.Detection_policy.all} policy × contention ∈
+    \{low, high\} × fault plan ∈ \{none, detector-outage\} at 5000 txns
+    (quick: 500), each point the fastest of three runs. *)
+
+val print_policy_table : policy_point list -> unit
+
+val policy_speedups : policy_point list -> (policy_point * float) list
+(** Each non-eager point paired with [eager_wall /. policy_wall] from the
+    eager point of the same (contention, outage, txns) cell — only where
+    commits are equal, so a speedup can never be bought with lost work. *)
+
+val best_central_speedup : policy_point list -> (string * float) option
+(** The largest {!policy_speedups} entry among high-contention,
+    outage-free points — the figure the E14 acceptance gate checks. *)
+
+val to_json : ?quick:bool -> ?policies:policy_point list -> point list -> string
+
+val write_json :
+  path:string -> ?quick:bool -> ?policies:policy_point list -> point list -> unit
 
 exception Parse_error of string
 
 val load : path:string -> point list
 (** Read the points back from a file written by {!write_json} (a minimal
     parser for exactly this module's JSON; [null] floats round-trip as
-    [nan]). @raise Parse_error on malformed input, [Sys_error] on an
-    unreadable path. *)
+    [nan]). Ignores any [policy_points] section, so baselines written
+    before or after E14 load interchangeably. @raise Parse_error on
+    malformed input, [Sys_error] on an unreadable path. *)
+
+val load_policies : path:string -> policy_point list
+(** Read the E14 section back from a file written by {!write_json};
+    [[]] when the file predates the section. @raise Parse_error /
+    [Sys_error] as {!load}. *)
 
 val compare_against :
   tolerance:float -> baseline:point list -> point list -> string list * int

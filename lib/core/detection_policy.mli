@@ -1,0 +1,68 @@
+(** When to look for deadlocks — the detection-scheduling axis that
+    Section 3 of the paper leaves implicit (its scheduler detects at every
+    blocked request) and that "On Optimal Deadlock Detection Scheduling"
+    (Ling, Chen & Chiang) optimises explicitly.
+
+    Eager detection is correct but taxes every blocked request with a
+    reachability check; under high contention that check is 76–82% of
+    engine wall time (experiment E13). The deferred policies below detect
+    {e less often}, trading prompt resolution for a cheaper request path.
+    Deferral admits {e multi-cycle} deadlocks (several cycles alive at
+    once, not all through one requester), which is exactly the regime the
+    paper's Section 3.2 minimum-cost vertex cut was built for — the
+    scheduler routes deferred resolutions through {!Prb_graph.Cutset}.
+
+    Every policy is made safe by two scheduler-level nets (DESIGN.md
+    Section 11): a {e stall watchdog} — if any transaction has been
+    blocked longer than {!stall_bound} with no detection pass since it
+    blocked, a full sweep is forced, so the engine can be slow but never
+    stuck — and a {e starvation guard} — a transaction rolled back at
+    least [starvation_limit] times becomes immune to victim selection,
+    bounding the repeated-victim livelock that Figure 2 otherwise only
+    caps with [max_ticks]. *)
+
+type t =
+  | Eager
+      (** detect at every blocked request — the paper's scheme and the
+          historical default; byte-identical to the pre-policy engine *)
+  | Periodic of int
+      (** a full detection sweep every [n] ticks; blocked requests pay
+          nothing *)
+  | Lazy_on_timeout of { blocked_ticks : int; backoff : int }
+      (** a blocked transaction arms a timer for [blocked_ticks]; expiry
+          triggers a targeted probe of its reachable waits-for slice. A
+          false alarm (no cycle) doubles that transaction's next timer, up
+          to [2^backoff] times — transactions that merely wait long stop
+          paying for probes *)
+  | Adaptive
+      (** a sweep cadence tuned online to the observed deadlock-arrival
+          rate (after Ling et al.): a sweep that finds deadlocks halves
+          the interval, two consecutive empty sweeps double it, clamped to
+          [adaptive_min]..[adaptive_max] *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+val of_string : string -> t option
+(** Accepts [eager], [periodic:N], [lazy:B], [lazy:B:K], [adaptive]. *)
+
+val is_eager : t -> bool
+
+val stall_bound : t -> int
+(** Watchdog bound in ticks: blocked longer than this with no detection
+    pass since blocking forces a full sweep. 0 for [Eager] (inline
+    detection cannot stall). *)
+
+val initial_interval : t -> int
+(** First scheduled pass/probe delay; 0 for [Eager]. *)
+
+val adaptive_min : int
+val adaptive_max : int
+val adaptive_start : int
+
+val all : t list
+(** Representative instances of every policy, for sweeps and matrices. *)
+
+val all_deferred : t list
+(** [all] without [Eager]. *)

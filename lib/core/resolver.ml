@@ -7,7 +7,11 @@ type txn = Txn_id.t
 type entity = Prb_storage.Store.entity
 type cycle = (txn * entity) list
 
-type decision = { victims : (txn * entity list) list; optimal : bool }
+type decision = {
+  victims : (txn * entity list) list;
+  optimal : bool;
+  starved_fallback : bool;
+}
 
 (* Entities transaction [v] must release, over the given cycles. *)
 let needed_entities cycles v =
@@ -19,13 +23,17 @@ let needed_entities cycles v =
     cycles
   |> List.sort_uniq Entity.compare
 
-let decision_of cycles ~optimal chosen =
+let decision_of cycles ~optimal ~immune chosen =
   {
     victims =
       (* victims are pairwise-distinct transactions *)
       List.map (fun v -> (v, needed_entities cycles v)) chosen
       |> List.sort (fun (a, _) (b, _) -> Txn_id.compare a b);
     optimal;
+    (* the starvation guard had to be overridden: some cycle offered no
+       non-immune victim, so an immune transaction is rolled back anyway
+       (deadlocks must break; immunity bends before liveness does) *)
+    starved_fallback = List.exists immune chosen;
   }
 
 (* Iteratively break surviving cycles, picking a member of the first
@@ -47,16 +55,25 @@ let iterative_pick cycles pick =
   in
   loop []
 
-let min_cost_cut ~requester cycles ~release_cost ~eligible =
-  (* Hitting set over cycles restricted to eligible members. A cycle with
-     no eligible member falls back to the requester (which is on every
-     cycle), so a cut always exists. *)
+let min_cost_cut ~requester cycles ~release_cost ~eligible ~immune =
+  (* Hitting set over cycles restricted to eligible members. Starvation-
+     immune members are dropped first; a cycle with only immune eligible
+     members keeps them (immunity bends before liveness — the caller reads
+     [starved_fallback] off the decision). A cycle with no eligible member
+     at all falls back to the requester (which is on every cycle), so a
+     cut always exists. *)
   let restricted =
     List.map
       (fun cycle ->
-        match List.filter (fun (m, _) -> eligible m) cycle with
-        | [] -> List.filter (fun (m, _) -> Txn_id.equal m requester) cycle
-        | kept -> kept)
+        match
+          List.filter (fun (m, _) -> eligible m && not (immune m)) cycle
+        with
+        | _ :: _ as kept -> kept
+        | [] -> (
+            match List.filter (fun (m, _) -> eligible m) cycle with
+            | [] ->
+                List.filter (fun (m, _) -> Txn_id.equal m requester) cycle
+            | kept -> kept))
       cycles
   in
   let instance =
@@ -69,20 +86,31 @@ let min_cost_cut ~requester cycles ~release_cost ~eligible =
   | Some chosen -> (chosen, true)
   | None -> (Cutset.greedy instance, false)
 
-let choose ~policy ~requester ~entry_order ~release_cost ~rng cycles =
+let choose ?(immune = fun _ -> false) ~policy ~requester ~entry_order
+    ~release_cost ~rng cycles =
   if cycles = [] then invalid_arg "Resolver.choose: no cycles";
   List.iter
     (fun cycle ->
       if not (List.exists (fun (m, _) -> Txn_id.equal m requester) cycle) then
         invalid_arg "Resolver.choose: requester missing from a cycle")
     cycles;
+  (* The iterative policies pick among a cycle's non-immune members when
+     any exist, else the whole cycle (same override rule as the cut). *)
+  let pickable cycle =
+    match List.filter (fun (m, _) -> not (immune m)) cycle with
+    | [] -> cycle
+    | kept -> kept
+  in
   match policy with
-  | Policy.Requester -> decision_of cycles ~optimal:false [ requester ]
+  | Policy.Requester ->
+      decision_of cycles ~optimal:false ~immune [ requester ]
   | Policy.Min_cost ->
       let chosen, optimal =
-        min_cost_cut ~requester cycles ~release_cost ~eligible:(fun _ -> true)
+        min_cost_cut ~requester cycles ~release_cost
+          ~eligible:(fun _ -> true)
+          ~immune
       in
-      decision_of cycles ~optimal chosen
+      decision_of cycles ~optimal ~immune chosen
   | Policy.Ordered_min_cost ->
       (* Theorem 2 with entry time as the partial order: a conflict may
          only preempt transactions that entered strictly later than the
@@ -90,19 +118,29 @@ let choose ~policy ~requester ~entry_order ~release_cost ~rng cycles =
          must eventually commit); a cycle whose members are all older
          falls back to rolling the requester itself. *)
       let eligible v = entry_order v > entry_order requester in
-      let chosen, optimal = min_cost_cut ~requester cycles ~release_cost ~eligible in
-      decision_of cycles ~optimal chosen
+      let chosen, optimal =
+        min_cost_cut ~requester cycles ~release_cost ~eligible ~immune
+      in
+      decision_of cycles ~optimal ~immune chosen
   | Policy.Youngest ->
       let pick cycle =
+        let candidates = pickable cycle in
+        let seed =
+          if List.exists (fun (m, _) -> Txn_id.equal m requester) candidates
+          then (requester, entry_order requester)
+          else
+            match candidates with
+            | (m, _) :: _ -> (m, entry_order m)
+            | [] -> (requester, entry_order requester)
+        in
         fst
           (List.fold_left
              (fun ((_, best) as acc) (m, e) ->
                if entry_order m > best then (m, entry_order m)
                else (ignore e; acc))
-             (requester, entry_order requester)
-             cycle)
+             seed candidates)
       in
-      decision_of cycles ~optimal:false (iterative_pick cycles pick)
+      decision_of cycles ~optimal:false ~immune (iterative_pick cycles pick)
   | Policy.Random_victim ->
-      let pick cycle = fst (Rng.pick rng (Array.of_list cycle)) in
-      decision_of cycles ~optimal:false (iterative_pick cycles pick)
+      let pick cycle = fst (Rng.pick rng (Array.of_list (pickable cycle))) in
+      decision_of cycles ~optimal:false ~immune (iterative_pick cycles pick)

@@ -29,9 +29,15 @@ type decision = {
   optimal : bool;
       (** true when produced by the exact cut solver; false for greedy
           fallback and for the non-optimising policies *)
+  starved_fallback : bool;
+      (** true when the starvation guard had to be overridden: some cycle
+          offered no non-immune victim, so an [immune] transaction was
+          chosen anyway (a deadlock must break; immunity bends before
+          liveness does) *)
 }
 
 val choose :
+  ?immune:(txn -> bool) ->
   policy:Policy.t ->
   requester:txn ->
   entry_order:(txn -> int) ->
@@ -41,4 +47,10 @@ val choose :
   decision
 (** @raise Invalid_argument on an empty cycle list or a cycle missing the
     requester. [release_cost v es] is the progress lost if [v] rolls back
-    far enough to release all of [es]. *)
+    far enough to release all of [es].
+
+    [immune] marks transactions the starvation guard shields from victim
+    selection (rolled back too many times already). Every policy prefers
+    non-immune members of each cycle; a cycle whose members are all immune
+    falls back to them and the decision reports [starved_fallback].
+    Defaults to no one, which leaves every policy's choice unchanged. *)

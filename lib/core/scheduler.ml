@@ -22,6 +22,8 @@ type config = {
   strategy : Strategy.t;
   policy : Policy.t;
   intervention : intervention;
+  detection : Detection_policy.t;
+  starvation_limit : int option;
   seed : int;
   max_ticks : int;
   cycle_limit : int;
@@ -36,6 +38,8 @@ let default_config =
     strategy = Strategy.Sdg;
     policy = Policy.Ordered_min_cost;
     intervention = Detect;
+    detection = Detection_policy.Eager;
+    starvation_limit = None;
     seed = 1;
     max_ticks = 1_000_000;
     cycle_limit = 256;
@@ -60,6 +64,19 @@ type event =
       (** a scheduled transaction crash; the payload is the plan's victim
           selector, resolved against the live growing transactions when
           the crash fires *)
+  | Detect_tick
+      (** a scheduled detection pass ([Periodic]/[Adaptive]); fires a full
+          sweep and reschedules itself, so the queue never drains while
+          transactions are deadlocked *)
+  | Probe of int * int
+      (** a [Lazy_on_timeout] probe for a blocked transaction; the second
+          payload is the tick at which the wait being probed began, so a
+          probe armed for an abandoned wait dies silently (the next block
+          arms a fresh one) *)
+  | Watchdog
+      (** the stall watchdog: periodically checks for a transaction
+          blocked past the policy's stall bound with no detection pass
+          since it blocked, and forces a full sweep if one exists *)
 
 type t = {
   cfg : config;
@@ -92,6 +109,27 @@ type t = {
   mutable detect_seconds : float;
   mutable detect_calls : int;
   blocked_since : (int, int) Hashtbl.t;
+      (** tick at which each currently-blocked transaction blocked; feeds
+          [Timeout_abort] timers, lazy probes, the stall watchdog and the
+          blocked-duration statistics *)
+  lazy_false : (int, int) Hashtbl.t;
+      (** per-transaction count of consecutive false-alarm lazy probes in
+          the current blocking episode, driving probe backoff *)
+  rollback_counts : (int, int) Hashtbl.t;
+      (** rollbacks suffered per transaction, driving the starvation
+          guard's victim immunity *)
+  mutable last_detect_tick : int;
+      (** tick of the last full detection sweep (not targeted probes —
+          a probe only proves one reachable slice acyclic, which the
+          watchdog must not mistake for global coverage) *)
+  mutable detect_interval : int;  (** current [Adaptive] sweep cadence *)
+  mutable quiet_passes : int;  (** consecutive empty [Adaptive] sweeps *)
+  mutable detection_passes : int;
+  mutable watchdog_fires : int;
+  mutable starvation_fallbacks : int;
+  mutable missed_passes : int;
+  mutable max_blocked_ticks : int;
+  mutable total_blocked_ticks : int;
   submit_ticks : (int, int) Hashtbl.t;
   commit_ticks : (int, int) Hashtbl.t;
   mutable ops_committed : int;
@@ -128,6 +166,17 @@ let create ?(config = default_config) store =
     detect_seconds = 0.0;
     detect_calls = 0;
     blocked_since = Hashtbl.create 16;
+    lazy_false = Hashtbl.create 16;
+    rollback_counts = Hashtbl.create 16;
+    last_detect_tick = 0;
+    detect_interval = Detection_policy.initial_interval config.detection;
+    quiet_passes = 0;
+    detection_passes = 0;
+    watchdog_fires = 0;
+    starvation_fallbacks = 0;
+    missed_passes = 0;
+    max_blocked_ticks = 0;
+    total_blocked_ticks = 0;
     submit_ticks = Hashtbl.create 64;
     commit_ticks = Hashtbl.create 64;
     ops_committed = 0;
@@ -142,6 +191,22 @@ let create ?(config = default_config) store =
             (Crash_txn c.Fault.victim))
         p.Fault.txn_crashes
   | Some _ | None -> ());
+  (* A deferred detection policy supplies its own wake sources up front:
+     the sweep tick chain ([Periodic]/[Adaptive]) and the watchdog chain
+     are both self-perpetuating, so the event queue cannot drain while
+     deadlocked transactions sit with no [Exec] events of their own. *)
+  (match config.intervention with
+  | Detect when not (Detection_policy.is_eager config.detection) ->
+      (match config.detection with
+      | Detection_policy.Periodic _ | Detection_policy.Adaptive ->
+          Heap.push t.events
+            ~priority:(Detection_policy.initial_interval config.detection)
+            Detect_tick
+      | Detection_policy.Eager | Detection_policy.Lazy_on_timeout _ -> ());
+      Heap.push t.events
+        ~priority:(Detection_policy.stall_bound config.detection)
+        Watchdog
+  | Detect | Timeout_abort _ | Wound_wait_c | Wait_die_c -> ());
   t
 
 let config t = t.cfg
@@ -202,6 +267,33 @@ let refresh_waiters t e =
         | holders -> set_wait t ~waiter:w ~holders e)
       (Lock_table.waiters t.locks e)
 
+(* A tracked wait ended (grant, rollback, restart, crash): fold its
+   duration into the blocked-time statistics and drop the episode state.
+   Every path that unblocks a transaction funnels through here — including
+   rollback victims, which the stats fold used to lose entirely. *)
+let note_unblocked t id =
+  match Hashtbl.find_opt t.blocked_since id with
+  | None -> ()
+  | Some since ->
+      let d = t.tick - since in
+      if d > t.max_blocked_ticks then t.max_blocked_ticks <- d;
+      t.total_blocked_ticks <- t.total_blocked_ticks + d;
+      Hashtbl.remove t.blocked_since id;
+      Hashtbl.remove t.lazy_false id
+
+let note_rollback t v =
+  let n = 1 + Option.value ~default:0 (Hashtbl.find_opt t.rollback_counts v) in
+  Hashtbl.replace t.rollback_counts v n
+
+(* The starvation guard: a transaction rolled back at least
+   [starvation_limit] times is shielded from victim selection (the
+   resolver falls back to it only when a cycle offers nobody else). *)
+let immune t v =
+  match t.cfg.starvation_limit with
+  | Some k ->
+      Option.value ~default:0 (Hashtbl.find_opt t.rollback_counts v) >= k
+  | None -> false
+
 let process_grants t grants =
   List.iter
     (fun (w, mode, e) ->
@@ -209,7 +301,7 @@ let process_grants t grants =
           m "[%d] grant %a(%s) to T%d (from queue)" t.tick Lock_mode.pp mode
             e w);
       Waits_for.clear_wait t.wfg w;
-      Hashtbl.remove t.blocked_since w;
+      note_unblocked t w;
       let ts = txn_state t w in
       History.note_grant t.hist ~tick:t.tick w e mode;
       Txn_state.lock_granted ts;
@@ -229,8 +321,11 @@ let release_lock t id e =
    entity-to-release) form. A waits-for cycle [r; v1; ...; vk] has edges
    r->v1 (r waits for v1 on e1) ... vk->r; deleting the arc into a member
    means that member releases the entity labelling the arc. *)
-let resolver_cycles t requester =
-  let raw = Waits_for.cycles_through ~limit:t.cfg.cycle_limit t.wfg requester in
+let resolver_cycles ?limit t requester =
+  let limit =
+    match limit with Some l -> min l t.cfg.cycle_limit | None -> t.cfg.cycle_limit
+  in
+  let raw = Waits_for.cycles_through ~limit t.wfg requester in
   let label u v =
     match List.assoc_opt v (Waits_for.waits t.wfg u) with
     | Some e -> e
@@ -280,7 +375,41 @@ let cancel_pending_request t v =
       refresh_waiters t e
   | None -> ()
 
-let apply_rollback t v entities =
+(* Self-restart: the transaction abandons its pending request, rolls back
+   to state 0 releasing everything, and starts over (keeping its id, which
+   is its timestamp). The prevention/timeout baselines use it directly;
+   deferred deadlock resolution uses it (with a re-admission delay) to
+   escalate repeat victims. *)
+let self_restart ?(extra_delay = 0) t id =
+  let ts = txn_state t id in
+  cancel_pending_request t id;
+  Waits_for.clear_wait t.wfg id;
+  note_unblocked t id;
+  let released = Txn_state.rollback_to ts Txn_state.restart_target in
+  t.rollback_events <- t.rollback_events + 1;
+  note_rollback t id;
+  List.iter
+    (fun e ->
+      History.discard t.hist id e;
+      release_lock t id e)
+    released;
+  Heap.push t.events
+    ~priority:(t.tick + 1 + t.cfg.restart_delay + extra_delay)
+    (Exec id)
+
+(* How many rollbacks a transaction may suffer before a deferred round
+   stops rolling it back partially and escalates to a delayed full
+   restart. Deferred resolution restarts its victims into the same
+   deterministic workload that just deadlocked them; without escalation
+   the hot-set regulars re-collide forever (a limit cycle — Figure 2's
+   pathology resurrected by batching), and a partial-rollback victim
+   cannot simply be parked with a long backoff because it keeps holding
+   its remaining locks, turning the backoff into a convoy. The full
+   restart releases everything, so the quadratic re-admission delay
+   below desynchronises the herd without stalling anyone behind it. *)
+let deferred_escalation = 4
+
+let apply_partial_rollback t ~deferred ~stagger v entities =
   let ts = txn_state t v in
   let held, _queued = split_arcs ts entities in
   (* A blocked victim abandons its pending request; shrinking its queue
@@ -290,6 +419,7 @@ let apply_rollback t v entities =
      remedy. *)
   cancel_pending_request t v;
   Waits_for.clear_wait t.wfg v;
+  note_unblocked t v;
   (match held with
   | [] -> t.requeue_events <- t.requeue_events + 1
   | es ->
@@ -321,12 +451,99 @@ let apply_rollback t v entities =
             (String.concat "," es));
       let released = Txn_state.rollback_to ts target in
       t.rollback_events <- t.rollback_events + 1;
+      note_rollback t v;
       List.iter
         (fun e ->
           History.discard t.hist v e;
           release_lock t v e)
         released);
-  Heap.push t.events ~priority:(t.tick + 1 + t.cfg.restart_delay) (Exec v)
+  (* A deferred pass can roll back many victims in one round; restarted in
+     lockstep at [t+1] they re-request the same hot entities in the same
+     order and the next pass faces the same cycles. Stagger the herd by
+     victim position and back off early repeat victims quadratically —
+     deterministic, and zero in eager rounds, whose replay output must
+     stay byte-identical. (Victims past [deferred_escalation] never reach
+     this push; {!apply_rollback} escalates them to a delayed full
+     restart, so the backoff here stays too short to convoy waiters
+     behind a still-held lock.) *)
+  let backoff =
+    if not deferred then 0
+    else
+      let n =
+        match Hashtbl.find_opt t.rollback_counts v with
+        | Some n -> n
+        | None -> 0
+      in
+      stagger + (n * n)
+  in
+  Heap.push t.events
+    ~priority:(t.tick + 1 + t.cfg.restart_delay + backoff)
+    (Exec v)
+
+let apply_rollback ?(deferred = false) ?(stagger = 0) t v entities =
+  let prior =
+    match Hashtbl.find_opt t.rollback_counts v with Some n -> n | None -> 0
+  in
+  if deferred && prior >= deferred_escalation then
+    self_restart t v ~extra_delay:(stagger + min 4096 (prior * prior))
+  else apply_partial_rollback t ~deferred ~stagger v entities
+
+(* Victim policy for one resolution round. An eager round sees only
+   cycles a single request just closed, where the configured policy's
+   trade-offs were calibrated; a deferred pass (sweep or probe) can face
+   several cycles that accreted between passes — exactly the multi-cycle
+   regime Section 3.2's minimum-cost vertex cut was built for — so the
+   iterative single-victim policies are routed through the cut solver
+   ([Ordered_min_cost], keeping Theorem 2's preemption order). Policies
+   that already are cuts run unchanged. *)
+let resolution_policy t ~deferred cycles =
+  if
+    deferred
+    && (match cycles with _ :: _ :: _ -> true | [] | [ _ ] -> false)
+    &&
+    match t.cfg.policy with
+    | Policy.Min_cost | Policy.Ordered_min_cost -> false
+    | Policy.Requester | Policy.Youngest | Policy.Random_victim -> true
+  then Policy.Ordered_min_cost
+  else t.cfg.policy
+
+(* A deferred round's cycle-enumeration budget. The eager path enumerates
+   up to [cycle_limit] cycles through the requester because its victim
+   choices are part of the replayable contract. A deferred pass — sweep
+   fixpoint or targeted probe — re-examines the graph after every cut, so
+   it can feed the Section 3.2 cut solver a small sample per round and
+   let iteration make up the difference. On the dense graphs deferral
+   accretes, DFS cycle enumeration is the dominant detection cost, and
+   this budget is where the deferred policies' wall-clock win over eager
+   detection comes from. (Sampling is only safe together with the
+   escalation below: small cuts roll back fewer victims per round, and
+   without escalation the survivors re-collide indefinitely.) *)
+let deferred_cycle_budget = 8
+
+(* One resolution round: count it, pick victims, apply the rollbacks. *)
+let resolve_round t ~deferred requester cycles =
+  Log.info (fun m ->
+      m "[%d] deadlock: %d cycle(s) through T%d" t.tick (List.length cycles)
+        requester);
+  t.deadlocks <- t.deadlocks + 1;
+  t.cycles_broken <- t.cycles_broken + List.length cycles;
+  let decision =
+    Resolver.choose ~immune:(immune t)
+      ~policy:(resolution_policy t ~deferred cycles)
+      ~requester
+      ~entry_order:(fun v -> Txn_state.entry_order (txn_state t v))
+      ~release_cost:(release_cost t) ~rng:t.rng cycles
+  in
+  if decision.Resolver.optimal then
+    t.optimal_resolutions <- t.optimal_resolutions + 1;
+  if decision.Resolver.starved_fallback then
+    t.starvation_fallbacks <- t.starvation_fallbacks + 1;
+  (match t.deadlock_hook with
+  | Some hook -> hook ~requester ~cycles ~decision
+  | None -> ());
+  List.iteri
+    (fun i (v, entities) -> apply_rollback ~deferred ~stagger:i t v entities)
+    decision.Resolver.victims
 
 (* Resolve until no blocked transaction lies on a cycle. New requests can
    only close cycles through the requester, but a resolution round's side
@@ -342,8 +559,13 @@ let apply_rollback t v entities =
    SCC pass finds no cycle, proves the whole graph acyclic and clears the
    set. The requester examined first is chosen exactly as the full rescan
    did — [primary] when it lies on a cycle, else the smallest blocked id
-   on one — so victim choices (and hence all statistics) are unchanged. *)
-let resolve_deadlocks t primary =
+   on one — so victim choices (and hence all statistics) are unchanged.
+
+   [primary = None] is a full sweep (deferred policies, watchdog): same
+   fixpoint, no preferred requester. Only this fixpoint may clear the
+   dirty set — its convergence proves the whole graph acyclic, which a
+   targeted probe's single reachable slice never does. *)
+let resolve_deadlocks t ~deferred primary =
   let round = ref 0 in
   let converged () = Hashtbl.reset t.wait_dirty in
   let rec fixpoint () =
@@ -361,15 +583,19 @@ let resolve_deadlocks t primary =
       | [] -> converged ()
       | on_cycle -> (
           let candidates =
-            if List.exists (Txn_id.equal primary) on_cycle then
-              primary
-              :: List.filter (fun v -> not (Txn_id.equal v primary)) on_cycle
-            else on_cycle
+            match primary with
+            | Some p when List.exists (Txn_id.equal p) on_cycle ->
+                p :: List.filter (fun v -> not (Txn_id.equal v p)) on_cycle
+            | Some _ | None -> on_cycle
           in
           let cycle_site =
             List.find_map
               (fun b ->
-                match resolver_cycles t b with
+                match
+                  resolver_cycles
+                    ?limit:(if deferred then Some deferred_cycle_budget else None)
+                    t b
+                with
                 | [] -> None
                 | cycles -> Some (b, cycles))
               candidates
@@ -381,44 +607,81 @@ let resolve_deadlocks t primary =
                  revisits these transactions. *)
               ()
           | Some (requester, cycles) ->
-              Log.info (fun m ->
-                  m "[%d] deadlock: %d cycle(s) through T%d" t.tick
-                    (List.length cycles) requester);
-              t.deadlocks <- t.deadlocks + 1;
-              t.cycles_broken <- t.cycles_broken + List.length cycles;
-              let decision =
-                Resolver.choose ~policy:t.cfg.policy ~requester
-                  ~entry_order:(fun v -> Txn_state.entry_order (txn_state t v))
-                  ~release_cost:(release_cost t) ~rng:t.rng cycles
-              in
-              if decision.Resolver.optimal then
-                t.optimal_resolutions <- t.optimal_resolutions + 1;
-              (match t.deadlock_hook with
-              | Some hook -> hook ~requester ~cycles ~decision
-              | None -> ());
-              List.iter
-                (fun (v, entities) -> apply_rollback t v entities)
-                decision.Resolver.victims;
+              resolve_round t ~deferred requester cycles;
               fixpoint ())
   in
   fixpoint ()
 
-(* Self-restart for the prevention/timeout baselines: the transaction
-   abandons its pending request and starts over (keeping its id, which is
-   its timestamp). *)
-let self_restart t id =
-  let ts = txn_state t id in
-  cancel_pending_request t id;
-  Waits_for.clear_wait t.wfg id;
-  Hashtbl.remove t.blocked_since id;
-  let released = Txn_state.rollback_to ts Txn_state.restart_target in
-  t.rollback_events <- t.rollback_events + 1;
-  List.iter
-    (fun e ->
-      History.discard t.hist id e;
-      release_lock t id e)
-    released;
-  Heap.push t.events ~priority:(t.tick + 1 + t.cfg.restart_delay) (Exec id)
+(* A targeted lazy probe: examine only the waits-for slice reachable from
+   the one transaction whose timer expired, resolving until that slice is
+   cycle-free. Returns whether any deadlock was found. Never touches the
+   dirty set — an acyclic slice says nothing about the rest of the
+   graph. *)
+let resolve_probe t id =
+  let found = ref false in
+  let continue_ = ref true in
+  let round = ref 0 in
+  while !continue_ do
+    incr round;
+    if !round > 1000 then raise (Stuck "probe resolution did not converge");
+    match Waits_for.on_cycle_from t.wfg [ id ] with
+    | [] -> continue_ := false
+    | on_cycle -> (
+        let requester =
+          if List.exists (Txn_id.equal id) on_cycle then id
+          else List.fold_left min (List.hd on_cycle) on_cycle
+        in
+        match resolver_cycles ~limit:deferred_cycle_budget t requester with
+        | [] ->
+            (* enumeration budget exhausted; leave it to the watchdog's
+               full sweep rather than spinning here *)
+            continue_ := false
+        | cycles ->
+            found := true;
+            resolve_round t ~deferred:true requester cycles)
+  done;
+  !found
+
+(* A full detection sweep (periodic/adaptive tick or watchdog): one
+   clock-wrapped run of the global fixpoint. Returns whether it found any
+   deadlock, which drives the adaptive cadence. *)
+let run_sweep t =
+  t.detection_passes <- t.detection_passes + 1;
+  t.detect_calls <- t.detect_calls + 1;
+  let before = t.deadlocks in
+  let t0 = match t.cfg.clock with Some clk -> clk () | None -> 0.0 in
+  resolve_deadlocks t ~deferred:true None;
+  (match t.cfg.clock with
+  | Some clk -> t.detect_seconds <- t.detect_seconds +. clk () -. t0
+  | None -> ());
+  t.last_detect_tick <- t.tick;
+  t.deadlocks > before
+
+(* Detector outages model the asynchronous detector service being down:
+   scheduled passes and probes are suppressed (counted as missed) while
+   the current tick lies inside an outage window. Eager detection is not
+   a service — it is inline in the lock-request path (the paper's scheme
+   has no separate detector process) — so it is unaffected. *)
+let in_detector_outage t =
+  match t.cfg.faults with
+  | Some p -> Fault.in_outage p t.tick
+  | None -> false
+
+(* First tick at or after now that lies outside every outage window. *)
+let outage_end t =
+  match t.cfg.faults with
+  | None -> t.tick
+  | Some p ->
+      List.fold_left
+        (fun acc (o : Fault.outage) ->
+          if o.Fault.out_from <= acc && acc < o.Fault.out_until then
+            o.Fault.out_until
+          else acc)
+        t.tick
+        (List.sort
+           (fun (a : Fault.outage) b ->
+             Int.compare a.Fault.out_from b.Fault.out_from)
+           p.Fault.detector_outages)
 
 (* Wound-wait (centralised): the older requester wounds each younger
    blocker, which partially rolls back just far enough to release the
@@ -468,9 +731,10 @@ let crash_transaction t selector =
       let ts = txn_state t id in
       cancel_pending_request t id;
       Waits_for.clear_wait t.wfg id;
-      Hashtbl.remove t.blocked_since id;
+      note_unblocked t id;
       let released = Txn_state.rollback_to ts Txn_state.restart_target in
       t.rollback_events <- t.rollback_events + 1;
+      note_rollback t id;
       List.iter
         (fun e ->
           History.discard t.hist id e;
@@ -498,20 +762,33 @@ let handle_lock_request t id mode e =
             mode e
             (String.concat "," (List.map (Printf.sprintf "T%d") holders)));
       set_wait t ~waiter:id ~holders e;
+      (* Every block is tracked, whatever the intervention: the duration
+         feeds the blocked-time statistics, the lazy probes and the stall
+         watchdog; [Timeout_abort] timers read it as before. *)
+      Hashtbl.replace t.blocked_since id t.tick;
       match t.cfg.intervention with
-      | Detect ->
-          (* Edges installed; a deadlock exists iff some blocker reaches
-             the waiter (Section 3.1's descendant check). *)
-          t.detect_calls <- t.detect_calls + 1;
-          let t0 = match t.cfg.clock with Some clk -> clk () | None -> 0.0 in
-          if Waits_for.would_deadlock t.wfg ~waiter:id ~holders then
-            resolve_deadlocks t id;
-          (match t.cfg.clock with
-          | Some clk -> t.detect_seconds <- t.detect_seconds +. clk () -. t0
-          | None -> ())
-      | Timeout_abort n ->
-          Hashtbl.replace t.blocked_since id t.tick;
-          Heap.push t.events ~priority:(t.tick + n) (Timer id)
+      | Detect -> (
+          match t.cfg.detection with
+          | Detection_policy.Eager ->
+              (* Edges installed; a deadlock exists iff some blocker
+                 reaches the waiter (Section 3.1's descendant check). *)
+              t.detect_calls <- t.detect_calls + 1;
+              let t0 =
+                match t.cfg.clock with Some clk -> clk () | None -> 0.0
+              in
+              if Waits_for.would_deadlock t.wfg ~waiter:id ~holders then
+                resolve_deadlocks t ~deferred:false (Some id);
+              (match t.cfg.clock with
+              | Some clk -> t.detect_seconds <- t.detect_seconds +. clk () -. t0
+              | None -> ())
+          | Detection_policy.Periodic _ | Detection_policy.Adaptive ->
+              (* the request path pays nothing; the sweep chain detects *)
+              ()
+          | Detection_policy.Lazy_on_timeout { blocked_ticks; _ } ->
+              Heap.push t.events
+                ~priority:(t.tick + blocked_ticks)
+                (Probe (id, t.tick)))
+      | Timeout_abort n -> Heap.push t.events ~priority:(t.tick + n) (Timer id)
       | Wound_wait_c -> wound_younger_blockers t id e holders
       | Wait_die_c ->
           if List.exists (fun b -> b < id) holders then begin
@@ -543,11 +820,13 @@ let handle_commit t id =
   List.iter (fun (e, _) -> refresh_waiters t e) held;
   Waits_for.remove_txn t.wfg id;
   History.commit_txn t.hist id;
-  (* A committer was never blocked at this point, but its timeout-mode
+  (* A committer was never blocked at this point, but a stale
      [blocked_since] entry may still linger (set on a block, cleared on
-     grant paths only) — drop it so the table cannot grow without bound
-     over a long run. *)
+     grant paths only) — drop it without folding it into the duration
+     stats (the wait it describes ended long ago), so the table cannot
+     grow without bound over a long run. *)
   Hashtbl.remove t.blocked_since id;
+  Hashtbl.remove t.lazy_false id;
   Log.debug (fun m -> m "[%d] T%d committed" t.tick id);
   Hashtbl.replace t.commit_ticks id t.tick;
   t.commits <- t.commits + 1;
@@ -604,7 +883,140 @@ let step t =
                     self_restart t id
                   end
                   else Heap.push t.events ~priority:(since + n) ev
-              | Some _ | None -> ()));
+              | Some _ | None -> ())
+          | Detect_tick -> (
+              (* the sweep chain: run (or miss, during an outage) a full
+                 pass and reschedule — self-perpetuating so deadlocked
+                 configurations always have a pending wake source *)
+              match t.cfg.detection with
+              | Detection_policy.Periodic n ->
+                  if in_detector_outage t then
+                    t.missed_passes <- t.missed_passes + 1
+                  else ignore (run_sweep t);
+                  Heap.push t.events ~priority:(t.tick + n) Detect_tick
+              | Detection_policy.Adaptive ->
+                  (if in_detector_outage t then
+                     t.missed_passes <- t.missed_passes + 1
+                   else begin
+                     let found = run_sweep t in
+                     if found then begin
+                       (* deadlocks are arriving: halve the interval *)
+                       t.detect_interval <-
+                         max Detection_policy.adaptive_min
+                           (t.detect_interval / 2);
+                       t.quiet_passes <- 0
+                     end
+                     else begin
+                       t.quiet_passes <- t.quiet_passes + 1;
+                       if t.quiet_passes >= 2 then begin
+                         (* two consecutive empty sweeps: back off *)
+                         t.detect_interval <-
+                           min Detection_policy.adaptive_max
+                             (t.detect_interval * 2);
+                         t.quiet_passes <- 0
+                       end
+                     end
+                   end);
+                  Heap.push t.events ~priority:(t.tick + t.detect_interval)
+                    Detect_tick
+              | Detection_policy.Eager | Detection_policy.Lazy_on_timeout _ ->
+                  ())
+          | Probe (id, armed) -> (
+              match t.cfg.detection with
+              | Detection_policy.Lazy_on_timeout { blocked_ticks; backoff }
+                -> (
+                  match Hashtbl.find_opt t.blocked_since id with
+                  | Some since
+                    when since = armed && Waits_for.is_blocked t.wfg id ->
+                      if in_detector_outage t then begin
+                        (* detector down: the probe is lost; re-arm past
+                           the outage (the watchdog, re-armed at the
+                           outage end itself, checks first on recovery) *)
+                        t.missed_passes <- t.missed_passes + 1;
+                        Heap.push t.events
+                          ~priority:(outage_end t + blocked_ticks)
+                          (Probe (id, armed))
+                      end
+                      else begin
+                        t.detection_passes <- t.detection_passes + 1;
+                        t.detect_calls <- t.detect_calls + 1;
+                        let t0 =
+                          match t.cfg.clock with
+                          | Some clk -> clk ()
+                          | None -> 0.0
+                        in
+                        let found = resolve_probe t id in
+                        (match t.cfg.clock with
+                        | Some clk ->
+                            t.detect_seconds <-
+                              t.detect_seconds +. clk () -. t0
+                        | None -> ());
+                        if found then begin
+                          Hashtbl.remove t.lazy_false id;
+                          (* resolution may have left [id] blocked (it
+                             survived as a non-victim): watch the
+                             still-running wait with a fresh timer *)
+                          match Hashtbl.find_opt t.blocked_since id with
+                          | Some since' when Waits_for.is_blocked t.wfg id ->
+                              Heap.push t.events
+                                ~priority:(t.tick + blocked_ticks)
+                                (Probe (id, since'))
+                          | Some _ | None -> ()
+                        end
+                        else begin
+                          (* false alarm: the slice is acyclic, the wait
+                             is legitimate — double this transaction's
+                             next probe delay *)
+                          let n =
+                            Option.value ~default:0
+                              (Hashtbl.find_opt t.lazy_false id)
+                          in
+                          Hashtbl.replace t.lazy_false id (n + 1);
+                          Heap.push t.events
+                            ~priority:
+                              (t.tick + (blocked_ticks * (1 lsl min n backoff)))
+                            (Probe (id, armed))
+                        end
+                      end
+                  | Some _ | None ->
+                      (* the wait this probe was armed for ended; a later
+                         block armed its own probe *)
+                      ())
+              | Detection_policy.Eager | Detection_policy.Periodic _
+              | Detection_policy.Adaptive ->
+                  ())
+          | Watchdog ->
+              (* the liveness net: a transaction blocked past the policy's
+                 stall bound with no full sweep since it blocked means
+                 passes were lost (outage, backed-off probes) — force one.
+                 Self-perpetuating at half the bound, so a stall is caught
+                 within 1.5x the bound of arising. *)
+              let bound = Detection_policy.stall_bound t.cfg.detection in
+              if in_detector_outage t then
+                (* suppressed like any detection while the detector is
+                   down; re-armed for the first healthy tick so recovery
+                   sweeps promptly *)
+                Heap.push t.events ~priority:(outage_end t) Watchdog
+              else begin
+                let stalled =
+                  Util.fold_sorted Txn_id.compare
+                    (fun id since acc ->
+                      acc
+                      || t.tick - since >= bound
+                         && t.last_detect_tick <= since
+                         && Waits_for.is_blocked t.wfg id)
+                    t.blocked_since false
+                in
+                if stalled then begin
+                  t.watchdog_fires <- t.watchdog_fires + 1;
+                  Log.info (fun m ->
+                      m "[%d] stall watchdog: forcing a full sweep" t.tick);
+                  ignore (run_sweep t)
+                end;
+                Heap.push t.events
+                  ~priority:(t.tick + max (bound / 2) 1)
+                  Watchdog
+              end);
           true
         end
 
@@ -630,6 +1042,13 @@ type stats = {
   timeouts : int;
   preventions : int;
   txn_crashes : int;
+  detection_passes : int;
+  watchdog_fires : int;
+  starvation_fallbacks : int;
+  missed_passes : int;
+  max_blocked_ticks : int;
+  total_blocked_ticks : int;
+  max_txn_rollbacks : int;
 }
 
 let set_deadlock_hook t hook = t.deadlock_hook <- Some hook
@@ -669,6 +1088,16 @@ let stats t =
     timeouts = t.timeout_events;
     preventions = t.prevention_events;
     txn_crashes = t.txn_crash_events;
+    detection_passes = t.detection_passes;
+    watchdog_fires = t.watchdog_fires;
+    starvation_fallbacks = t.starvation_fallbacks;
+    missed_passes = t.missed_passes;
+    max_blocked_ticks = t.max_blocked_ticks;
+    total_blocked_ticks = t.total_blocked_ticks;
+    max_txn_rollbacks =
+      Util.fold_sorted Txn_id.compare
+        (fun _ n acc -> max acc n)
+        t.rollback_counts 0;
   }
 
 let pp_stats ppf s =
@@ -677,8 +1106,23 @@ let pp_stats ppf s =
      rollbacks: %d (+%d requeues)@,ops lost: %d (overshoot %d)@,\
      ops committed: %d@,ops executed: %d@,blocks: %d@,peak copies: %d@,\
      optimal resolutions: %d@,timeouts: %d, preventions: %d@,\
-     txn crashes: %d@]"
+     txn crashes: %d"
     s.ticks s.commits s.deadlocks s.cycles_broken s.rollbacks s.requeues
     s.ops_lost s.overshoot_ops s.ops_committed s.ops_executed s.blocks
     s.peak_copies s.optimal_resolutions s.timeouts s.preventions
-    s.txn_crashes
+    s.txn_crashes;
+  (* The deferred-detection and blocked-duration lines appear only when a
+     scheduled detector or timeout ran, keeping eager fixed-seed output
+     byte-identical to the pre-policy engine. *)
+  if
+    s.detection_passes > 0 || s.watchdog_fires > 0 || s.missed_passes > 0
+    || s.starvation_fallbacks > 0 || s.timeouts > 0
+  then
+    Fmt.pf ppf
+      "@,detection passes: %d (missed: %d)@,\
+       watchdog fires: %d, starvation fallbacks: %d@,\
+       max blocked: %d ticks (total %d), max txn rollbacks: %d"
+      s.detection_passes s.missed_passes s.watchdog_fires
+      s.starvation_fallbacks s.max_blocked_ticks s.total_blocked_ticks
+      s.max_txn_rollbacks;
+  Fmt.pf ppf "@]"

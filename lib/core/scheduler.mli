@@ -40,6 +40,21 @@ type config = {
   strategy : Prb_rollback.Strategy.t;
   policy : Policy.t;
   intervention : intervention;
+  detection : Detection_policy.t;
+      (** when to run deadlock detection under [Detect]: [Eager]
+          (default — at every blocked request, byte-identical to the
+          pre-policy engine) or one of the deferred policies, which keep
+          the request path detection-free and run scheduled sweeps or
+          targeted probes instead (DESIGN.md Section 11). Deferred
+          policies are guarded by a stall watchdog: a transaction blocked
+          longer than {!Detection_policy.stall_bound} with no sweep since
+          it blocked forces one. Ignored by the non-[Detect]
+          interventions, which do not detect at all *)
+  starvation_limit : int option;
+      (** the starvation guard: [Some k] makes a transaction rolled back
+          [k] times immune to victim selection (the resolver picks it only
+          when some cycle offers nobody else, reported as
+          [starvation_fallbacks]); [None] (default) disables the guard *)
   seed : int;  (** drives only the [Random_victim] policy *)
   max_ticks : int;  (** hard stop against livelock (paper Figure 2) *)
   cycle_limit : int;  (** bound on cycle enumeration per deadlock *)
@@ -53,11 +68,16 @@ type config = {
           [false]: the paper's availability rule, identical on
           exclusive-only workloads *)
   faults : Prb_fault.Fault.plan option;
-      (** transaction crashes only (the centralised engine has no sites
-          or messages): each scheduled crash picks a live growing
-          transaction, rolls it back to state 0 and re-admits it after a
-          delay that doubles with repeated crashes of the same
-          transaction (DESIGN.md Section 7) *)
+      (** transaction crashes and detector outages (the centralised
+          engine has no sites or messages): each scheduled crash picks a
+          live growing transaction, rolls it back to state 0 and
+          re-admits it after a delay that doubles with repeated crashes
+          of the same transaction (DESIGN.md Section 7). Detector outages
+          suppress the deferred policies' scheduled sweeps and probes
+          (counted as [missed_passes]) and the watchdog re-arms for the
+          first healthy tick, so recovery sweeps promptly; [Eager]
+          detection is inline in the request path — not a detector
+          service — and is unaffected *)
   clock : (unit -> float) option;
       (** when set (e.g. to [Unix.gettimeofday]), wall-clock seconds spent
           in deadlock detection and resolution are accumulated and
@@ -67,9 +87,9 @@ type config = {
 }
 
 val default_config : config
-(** [Sdg] strategy, [Detect] intervention, [Ordered_min_cost] policy,
-    seed 1, 1_000_000 ticks, 256 cycles, restart delay 0, fair
-    locking, no faults. *)
+(** [Sdg] strategy, [Detect] intervention, [Eager] detection (no
+    starvation limit), [Ordered_min_cost] policy, seed 1, 1_000_000
+    ticks, 256 cycles, restart delay 0, fair locking, no faults. *)
 
 val create : ?config:config -> Prb_storage.Store.t -> t
 
@@ -125,12 +145,13 @@ val detection_seconds : t -> float
     benchmark harness uses this for the detection-time share. *)
 
 val detection_calls : t -> int
-(** Lock requests that blocked and ran the deadlock check. *)
+(** Deadlock checks actually run: blocked requests under [Eager], sweeps
+    and probes under the deferred policies. *)
 
 val n_blocked_tracked : t -> int
-(** Size of the internal blocked-since table ([Timeout_abort]
-    bookkeeping) — exposed so tests can assert it does not leak across
-    commits. *)
+(** Size of the internal blocked-since table (every currently-blocked
+    transaction, whatever the intervention) — exposed so tests can assert
+    it does not leak across commits. *)
 
 (** Aggregate statistics over a (partial or finished) run. *)
 type stats = {
@@ -155,6 +176,20 @@ type stats = {
   timeouts : int;  (** [Timeout_abort] self-restarts *)
   preventions : int;  (** wounds ([Wound_wait_c]) or deaths ([Wait_die_c]) *)
   txn_crashes : int;  (** fault-plan transaction crashes that hit a victim *)
+  detection_passes : int;
+      (** scheduled sweeps and lazy probes run (0 under [Eager], whose
+          checks count only in {!detection_calls}) *)
+  watchdog_fires : int;  (** full sweeps forced by the stall watchdog *)
+  starvation_fallbacks : int;
+      (** resolutions where a cycle offered no non-immune victim and the
+          starvation guard was overridden *)
+  missed_passes : int;  (** sweeps/probes suppressed by detector outages *)
+  max_blocked_ticks : int;  (** longest completed blocking episode *)
+  total_blocked_ticks : int;  (** Σ durations of completed episodes *)
+  max_txn_rollbacks : int;
+      (** rollbacks suffered by the worst-hit transaction — the quantity
+          the starvation guard bounds by [starvation_limit] whenever
+          [starvation_fallbacks] is 0 *)
 }
 
 val stats : t -> stats

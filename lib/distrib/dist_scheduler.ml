@@ -12,6 +12,7 @@ module Util = Prb_util.Util
 module Txn_id = Prb_txn.Txn_id
 module Policy = Prb_core.Policy
 module Resolver = Prb_core.Resolver
+module Detection_policy = Prb_core.Detection_policy
 module Fault = Prb_fault.Fault
 
 type detection = Local_then_global of int | Wound_wait
@@ -19,6 +20,19 @@ type detection = Local_then_global of int | Wound_wait
 type config = {
   n_sites : int;
   detection : detection;
+  detection_policy : Detection_policy.t;
+      (** cadence of the global-detector service under
+          [Local_then_global]: [Eager] (default) fires a full round every
+          [period] ticks — byte-identical to the pre-policy engine — while
+          the deferred policies reschedule the service by their own rule
+          (periodic cadence, adaptive interval, or lazy skip-until-
+          someone-waited-long-enough), guarded by the stall watchdog.
+          Site-local block-time detection is inline in the request path
+          (not a service) and always runs. Ignored under [Wound_wait] *)
+  starvation_limit : int option;
+      (** [Some k]: a transaction rolled back [k] times becomes immune to
+          victim selection (overridden only when a cycle offers nobody
+          else); [None] (default) disables the guard *)
   strategy : Strategy.t;
   policy : Policy.t;
   seed : int;
@@ -40,6 +54,8 @@ let default_config =
   {
     n_sites = 4;
     detection = Local_then_global 50;
+    detection_policy = Detection_policy.Eager;
+    starvation_limit = None;
     strategy = Strategy.Sdg;
     policy = Policy.Youngest;
     seed = 1;
@@ -119,6 +135,20 @@ type t = {
   mutable retransmissions : int;
   mutable timeout_aborts : int;
   mutable missed_rounds : int;
+  rollback_counts : (int, int) Hashtbl.t;
+      (** rollbacks per transaction, driving the starvation guard *)
+  mutable last_round_tick : int;
+      (** tick of the last global round that actually ran; the stall
+          watchdog compares it against blocking times *)
+  mutable detect_interval : int;
+      (** current service cadence ([Adaptive]/[Lazy_on_timeout]) *)
+  mutable quiet_rounds : int;  (** consecutive empty [Adaptive] rounds *)
+  mutable watchdog_fires : int;
+  mutable skipped_rounds : int;
+      (** lazy firings that shipped nothing (nobody waited long enough) *)
+  mutable starvation_fallbacks : int;
+  mutable max_blocked_ticks : int;
+  mutable total_blocked_ticks : int;
 }
 
 let default_site_of n_sites e =
@@ -172,6 +202,21 @@ let create ?site_of config store =
       retransmissions = 0;
       timeout_aborts = 0;
       missed_rounds = 0;
+      rollback_counts = Hashtbl.create 16;
+      last_round_tick = 0;
+      detect_interval =
+        (match config.detection_policy with
+        | Detection_policy.Eager ->
+            (match config.detection with
+            | Local_then_global period -> period
+            | Wound_wait -> 0)
+        | p -> Detection_policy.initial_interval p);
+      quiet_rounds = 0;
+      watchdog_fires = 0;
+      skipped_rounds = 0;
+      starvation_fallbacks = 0;
+      max_blocked_ticks = 0;
+      total_blocked_ticks = 0;
     }
   in
   (match config.detection with
@@ -217,6 +262,27 @@ let push t ~at ev = Heap.push t.events ~priority:at ev
 let push_release t ~at ev =
   t.inflight_releases <- t.inflight_releases + 1;
   push t ~at ev
+
+(* A tracked wait ended: fold its duration into the blocked-time stats
+   and drop the entry. Every unblocking path funnels through here. *)
+let note_unblocked t id =
+  match Hashtbl.find_opt t.blocked_since id with
+  | None -> ()
+  | Some since ->
+      let d = t.tick - since in
+      if d > t.max_blocked_ticks then t.max_blocked_ticks <- d;
+      t.total_blocked_ticks <- t.total_blocked_ticks + d;
+      Hashtbl.remove t.blocked_since id
+
+let note_rollback t v =
+  let n = 1 + Option.value ~default:0 (Hashtbl.find_opt t.rollback_counts v) in
+  Hashtbl.replace t.rollback_counts v n
+
+let immune t v =
+  match t.cfg.starvation_limit with
+  | Some k ->
+      Option.value ~default:0 (Hashtbl.find_opt t.rollback_counts v) >= k
+  | None -> false
 
 let submit t ~home program =
   if home < 0 || home >= t.cfg.n_sites then
@@ -281,7 +347,7 @@ let process_grants t grants =
   List.iter
     (fun (w, mode, e) ->
       Waits_for.clear_wait t.wfg w;
-      Hashtbl.remove t.blocked_since w;
+      note_unblocked t w;
       History.note_grant t.hist ~tick:t.tick w e mode;
       match t.faults with
       | Some _ when t.down.(site_of t e) ->
@@ -400,11 +466,11 @@ let forget_wait t v =
       if not t.down.(site_of t e) then release_lock t v e
   | Some _ | None -> ());
   Waits_for.clear_wait t.wfg v;
-  Hashtbl.remove t.blocked_since v;
+  note_unblocked t v;
   m.pending <- None;
   m.attempt <- 0
 
-let apply_rollback t v entities =
+let apply_partial_rollback t ~deferred ~stagger v entities =
   let ts = txn_state t v in
   let held, _queued = split_arcs ts entities in
   forget_wait t v;
@@ -419,6 +485,7 @@ let apply_rollback t v entities =
       in
       let released = Txn_state.rollback_to ts target in
       t.rollback_events <- t.rollback_events + 1;
+      note_rollback t v;
       (* One coordination message per remote site whose entities the
          rollback released. *)
       let home = (meta t v).home in
@@ -432,7 +499,22 @@ let apply_rollback t v entities =
           History.discard t.hist v e;
           release_after_rollback t v e)
         released);
-  push t ~at:(t.tick + 1 + t.cfg.restart_delay) (Exec v)
+  (* Deferred rounds restart a whole batch of victims at once; restarting
+     them in lockstep replays the exact collision that formed the cycles
+     (the workload is deterministic), so the batch limit-cycles forever.
+     Stagger victims by their position in the batch and back repeat
+     victims off quadratically — same scheme as the centralised engine. *)
+  let backoff =
+    if not deferred then 0
+    else
+      let n =
+        match Hashtbl.find_opt t.rollback_counts v with
+        | Some n -> n
+        | None -> 0
+      in
+      stagger + (n * n)
+  in
+  push t ~at:(t.tick + 1 + t.cfg.restart_delay + backoff) (Exec v)
 
 (* Full restart: site-crash of the home site, or a degraded-mode timeout
    abort while the global detector is out. *)
@@ -442,6 +524,7 @@ let restart_txn t id ~resume_at =
   forget_wait t id;
   let released = Txn_state.rollback_to ts Txn_state.restart_target in
   t.rollback_events <- t.rollback_events + 1;
+  note_rollback t id;
   List.iter
     (fun e ->
       History.discard t.hist id e;
@@ -449,6 +532,25 @@ let restart_txn t id ~resume_at =
     released;
   m.last_site <- m.home;
   push t ~at:resume_at (Exec id)
+
+(* How many rollbacks a victim may suffer before a deferred round stops
+   rolling it back partially and escalates to a delayed full restart. A
+   long backoff on a partial-rollback victim is a convoy — it still holds
+   its surviving locks while it waits — so repeat victims instead release
+   everything and re-enter after a quadratically growing delay, which
+   breaks both the convoy and the re-victimisation loop the stale-snapshot
+   cost policies are prone to (the E10b pathology). *)
+let deferred_escalation = 4
+
+let apply_rollback ?(deferred = false) ?(stagger = 0) t v entities =
+  let prior =
+    match Hashtbl.find_opt t.rollback_counts v with Some n -> n | None -> 0
+  in
+  if deferred && prior >= deferred_escalation then
+    restart_txn t v
+      ~resume_at:
+        (t.tick + 1 + t.cfg.restart_delay + stagger + min 4096 (prior * prior))
+  else apply_partial_rollback t ~deferred ~stagger v entities
 
 (* --- Cycle detection ------------------------------------------------- *)
 
@@ -476,14 +578,36 @@ let is_local_cycle t cycle =
       let s = site_of t e0 in
       List.for_all (fun (_, e) -> site_of t e = s) rest
 
-let resolve_cycles t requester cycles =
+(* Under a deferred detection policy a round can face several cycles that
+   accreted between rounds — the Section 3.2 multi-cycle regime — so the
+   single-victim policies are routed through the minimum-cost vertex cut
+   ([Ordered_min_cost], keeping Theorem 2's preemption order). Eager
+   rounds keep the configured policy untouched. *)
+let resolution_policy t cycles =
+  if
+    (not (Detection_policy.is_eager t.cfg.detection_policy))
+    && (match cycles with _ :: _ :: _ -> true | [] | [ _ ] -> false)
+    &&
+    match t.cfg.policy with
+    | Policy.Min_cost | Policy.Ordered_min_cost -> false
+    | Policy.Requester | Policy.Youngest | Policy.Random_victim -> true
+  then Policy.Ordered_min_cost
+  else t.cfg.policy
+
+let resolve_cycles ?(deferred = false) t requester cycles =
   t.deadlocks <- t.deadlocks + 1;
   let decision =
-    Resolver.choose ~policy:t.cfg.policy ~requester
+    Resolver.choose ~immune:(immune t)
+      ~policy:(resolution_policy t cycles)
+      ~requester
       ~entry_order:(fun v -> Txn_state.entry_order (txn_state t v))
       ~release_cost:(release_cost t) ~rng:t.rng cycles
   in
-  List.iter (fun (v, entities) -> apply_rollback t v entities) decision.Resolver.victims
+  if decision.Resolver.starved_fallback then
+    t.starvation_fallbacks <- t.starvation_fallbacks + 1;
+  List.iteri
+    (fun i (v, entities) -> apply_rollback ~deferred ~stagger:i t v entities)
+    decision.Resolver.victims
 
 (* Local detection at block time: a site resolves instantly any cycle
    whose contested entities all live on it. *)
@@ -542,7 +666,9 @@ let run_global_detection t =
     | None -> ()
     | Some (requester, cycles) ->
         t.global_deadlocks <- t.global_deadlocks + 1;
-        resolve_cycles t requester cycles;
+        resolve_cycles
+          ~deferred:(not (Detection_policy.is_eager t.cfg.detection_policy))
+          t requester cycles;
         fixpoint ()
   in
   fixpoint ()
@@ -560,6 +686,97 @@ let degrade t =
           restart_txn t b ~resume_at:(t.tick + 1 + t.cfg.restart_delay)
       | Some _ | None -> ())
     (List.sort Txn_id.compare (blocked_txns t))
+
+(* One firing of the global-detector service: decide per the detection
+   policy whether a round actually runs, and return the delay until the
+   next firing. The firing chain itself is policy-independent and
+   self-perpetuating, so deferral can never leave deadlocked
+   configurations without a pending wake source. *)
+let detector_round t ~period =
+  let next_delay () =
+    match t.cfg.detection_policy with
+    | Detection_policy.Eager -> period
+    | Detection_policy.Periodic n -> n
+    | Detection_policy.Adaptive | Detection_policy.Lazy_on_timeout _ ->
+        t.detect_interval
+  in
+  match t.faults with
+  | Some f when Fault.in_outage (Fault.plan f) t.tick ->
+      (* detector service down, whatever the policy: degrade gracefully
+         (timeout-abort long-blocked transactions) and keep the cadence —
+         the first post-outage firing runs the watchdog check below *)
+      t.missed_rounds <- t.missed_rounds + 1;
+      degrade t;
+      next_delay ()
+  | _ -> (
+      let run_round () =
+        let before = t.deadlocks in
+        run_global_detection t;
+        t.last_round_tick <- t.tick;
+        t.deadlocks > before
+      in
+      match t.cfg.detection_policy with
+      | Detection_policy.Eager ->
+          ignore (run_round ());
+          period
+      | Detection_policy.Periodic n ->
+          ignore (run_round ());
+          n
+      | Detection_policy.Adaptive ->
+          if run_round () then begin
+            t.detect_interval <-
+              max Detection_policy.adaptive_min (t.detect_interval / 2);
+            t.quiet_rounds <- 0
+          end
+          else begin
+            t.quiet_rounds <- t.quiet_rounds + 1;
+            if t.quiet_rounds >= 2 then begin
+              t.detect_interval <-
+                min Detection_policy.adaptive_max (t.detect_interval * 2);
+              t.quiet_rounds <- 0
+            end
+          end;
+          t.detect_interval
+      | Detection_policy.Lazy_on_timeout { blocked_ticks; backoff } ->
+          let bound =
+            Detection_policy.stall_bound t.cfg.detection_policy
+          in
+          let oldest, stalled =
+            Util.fold_sorted Txn_id.compare
+              (fun id since ((o, s) as acc) ->
+                if Waits_for.is_blocked t.wfg id then
+                  ( max o (t.tick - since),
+                    s
+                    || t.tick - since >= bound
+                       && t.last_round_tick <= since )
+                else acc)
+              t.blocked_since (0, false)
+          in
+          if stalled then begin
+            (* the watchdog: blocked past the stall bound with no round
+               since — lost rounds (outage) or runaway backoff; force a
+               round and reset the cadence *)
+            t.watchdog_fires <- t.watchdog_fires + 1;
+            ignore (run_round ());
+            t.detect_interval <- blocked_ticks;
+            blocked_ticks
+          end
+          else if oldest >= blocked_ticks then begin
+            (if run_round () then t.detect_interval <- blocked_ticks
+             else begin
+               (* false alarm: long waits but no cycle — back off, capped
+                  at half the stall bound so the watchdog stays behind *)
+               let cap = blocked_ticks * (1 lsl min backoff 20) in
+               t.detect_interval <- min cap (t.detect_interval * 2)
+             end);
+            t.detect_interval
+          end
+          else begin
+            (* nobody has waited long enough to suspect a deadlock: skip
+               the round, shipping no edges at all *)
+            t.skipped_rounds <- t.skipped_rounds + 1;
+            t.detect_interval
+          end)
 
 (* Wound-wait: an older requester wounds every younger blocker — holders
    roll back to release the entity, younger queued requests requeue
@@ -600,6 +817,7 @@ let partial_crash_rollback t id ~site =
     in
     let released = Txn_state.rollback_to ts target in
     t.rollback_events <- t.rollback_events + 1;
+    note_rollback t id;
     List.iter
       (fun e ->
         History.discard t.hist id e;
@@ -656,7 +874,7 @@ let rebuild_site_locks t s =
                 refresh_waiters t e'
             | None -> ());
             Waits_for.clear_wait t.wfg w;
-            Hashtbl.remove t.blocked_since w)
+            note_unblocked t w)
           (List.rev (Lock_table.waiters t.locks e));
         List.iter
           (fun (h, _) ->
@@ -744,7 +962,7 @@ let req_timeout t id e =
           if satisfied then begin
             (* grant reply lost: the probe rediscovers the lock *)
             Waits_for.clear_wait t.wfg id;
-            Hashtbl.remove t.blocked_since id;
+            note_unblocked t id;
             notify_grant t id e
           end
           else if Lock_table.waiting_for t.locks id <> None then
@@ -779,7 +997,7 @@ let grant_arrive t id e =
           in
           if satisfies then begin
             Waits_for.clear_wait t.wfg id;
-            Hashtbl.remove t.blocked_since id;
+            note_unblocked t id;
             notify_grant t id e
           end
       | Some _ | None ->
@@ -910,12 +1128,8 @@ let step t =
           | Detector -> (
               match t.cfg.detection with
               | Local_then_global period ->
-                  (match t.faults with
-                  | Some f when Fault.in_outage (Fault.plan f) t.tick ->
-                      t.missed_rounds <- t.missed_rounds + 1;
-                      degrade t
-                  | _ -> run_global_detection t);
-                  push t ~at:(t.tick + period) Detector
+                  let delay = detector_round t ~period in
+                  push t ~at:(t.tick + delay) Detector
               | Wound_wait -> ())
           | Req_arrive (id, mode, e) -> req_arrive t id mode e
           | Req_timeout (id, e) -> req_timeout t id e
@@ -956,6 +1170,15 @@ type stats = {
   retransmissions : int;
   timeout_aborts : int;
   missed_rounds : int;
+  deferred_detection : bool;
+      (** the run used a non-[Eager] detection policy (drives which stat
+          lines print, keeping eager output byte-identical) *)
+  watchdog_fires : int;
+  skipped_rounds : int;
+  starvation_fallbacks : int;
+  max_blocked_ticks : int;
+  total_blocked_ticks : int;
+  max_txn_rollbacks : int;
 }
 
 let stats t =
@@ -982,6 +1205,17 @@ let stats t =
     retransmissions = t.retransmissions;
     timeout_aborts = t.timeout_aborts;
     missed_rounds = t.missed_rounds;
+    deferred_detection =
+      not (Detection_policy.is_eager t.cfg.detection_policy);
+    watchdog_fires = t.watchdog_fires;
+    skipped_rounds = t.skipped_rounds;
+    starvation_fallbacks = t.starvation_fallbacks;
+    max_blocked_ticks = t.max_blocked_ticks;
+    total_blocked_ticks = t.total_blocked_ticks;
+    max_txn_rollbacks =
+      Util.fold_sorted Txn_id.compare
+        (fun _ n acc -> max acc n)
+        t.rollback_counts 0;
   }
 
 let pp_stats ppf s =
@@ -991,9 +1225,16 @@ let pp_stats ppf s =
      shipped copies: %d@,detection rounds: %d@,\
      crashes: %d (recovered %d, purged locks %d)@,\
      msgs lost: %d, duplicated: %d, retransmissions: %d@,\
-     timeout aborts: %d, missed detector rounds: %d@]"
+     timeout aborts: %d, missed detector rounds: %d"
     s.ticks s.commits s.deadlocks s.local_deadlocks s.global_deadlocks
     s.wounds s.rollbacks s.ops_lost s.messages s.shipped_copies
     s.detection_rounds s.site_crashes s.site_recoveries s.purged_locks
     s.msgs_lost s.msgs_duplicated s.retransmissions s.timeout_aborts
-    s.missed_rounds
+    s.missed_rounds;
+  if s.deferred_detection then
+    Fmt.pf ppf
+      "@,skipped rounds: %d, watchdog fires: %d, starvation fallbacks: %d@,\
+       max blocked: %d ticks (total %d), max txn rollbacks: %d"
+      s.skipped_rounds s.watchdog_fires s.starvation_fallbacks
+      s.max_blocked_ticks s.total_blocked_ticks s.max_txn_rollbacks;
+  Fmt.pf ppf "@]"

@@ -60,6 +60,27 @@ type detection =
 type config = {
   n_sites : int;
   detection : detection;
+  detection_policy : Prb_core.Detection_policy.t;
+      (** cadence of the global-detector service under
+          [Local_then_global]: [Eager] (default) runs a full round at
+          every firing, every [period] ticks — byte-identical to the
+          pre-policy engine. The deferred policies reschedule the service
+          by their own rule — [Periodic n] fires every [n] ticks,
+          [Adaptive] tunes its interval to the deadlock-arrival rate, and
+          [Lazy_on_timeout] ships nothing unless some transaction has
+          been blocked at least [blocked_ticks] (backing off after rounds
+          that find no cycle, capped at half the stall bound). A stall
+          watchdog folded into the firing chain forces a round whenever a
+          transaction has been blocked past
+          {!Prb_core.Detection_policy.stall_bound} with no round since it
+          blocked. Site-local block-time detection is inline in the
+          request path (not a service) and always runs. Ignored under
+          [Wound_wait] *)
+  starvation_limit : int option;
+      (** [Some k]: a transaction rolled back [k] times becomes immune to
+          victim selection (overridden only when a cycle offers nobody
+          else, counted as [starvation_fallbacks]); [None] (default)
+          disables the guard *)
   strategy : Prb_rollback.Strategy.t;
   policy : Prb_core.Policy.t;
   seed : int;
@@ -72,13 +93,17 @@ type config = {
 }
 
 val default_config : config
-(** 4 sites, [Local_then_global 50], [Sdg], no faults, and — unlike the
-    centralised engine — the [Youngest] victim policy: periodic global
-    detection works from stale snapshots without a meaningful requester,
-    and the cost-optimising policies then re-victimise the same cheap
-    transaction every round (Figure 2's pathology resurrected by
-    staleness; measured in E10b). Age-based selection converges, which is
-    why the distributed literature the paper cites uses timestamps. *)
+(** 4 sites, [Local_then_global 50], [Eager] detection policy (no
+    starvation limit), [Sdg], no faults, and — unlike the centralised
+    engine — the [Youngest] victim policy: periodic global detection
+    works from stale snapshots without a meaningful requester, and the
+    cost-optimising policies then re-victimise the same cheap transaction
+    every round (Figure 2's pathology resurrected by staleness; measured
+    in E10b). Age-based selection converges, which is why the distributed
+    literature the paper cites uses timestamps. (Deferred rounds facing
+    more than one cycle are nonetheless routed through the Section 3.2
+    vertex cut as [Ordered_min_cost] — with the starvation guard
+    available to bound any re-victimisation.) *)
 
 type t
 
@@ -135,6 +160,24 @@ type stats = {
   retransmissions : int;
   timeout_aborts : int;  (** degraded-mode aborts while the detector was out *)
   missed_rounds : int;  (** detection rounds skipped by detector outages *)
+  deferred_detection : bool;
+      (** the run used a non-[Eager] detection policy; drives which stat
+          lines {!pp_stats} prints, keeping eager output byte-identical *)
+  watchdog_fires : int;
+      (** rounds forced by the stall watchdog (a transaction blocked past
+          the stall bound with no round since it blocked) *)
+  skipped_rounds : int;
+      (** [Lazy_on_timeout] firings that shipped nothing because nobody
+          had waited long enough *)
+  starvation_fallbacks : int;
+      (** resolutions where a cycle offered no non-immune victim and the
+          starvation guard was overridden *)
+  max_blocked_ticks : int;  (** longest completed blocking episode *)
+  total_blocked_ticks : int;  (** Σ durations of completed episodes *)
+  max_txn_rollbacks : int;
+      (** rollbacks suffered by the worst-hit transaction — bounded by
+          [starvation_limit] plus degraded-mode forced restarts whenever
+          [starvation_fallbacks] is 0 *)
 }
 
 val stats : t -> stats

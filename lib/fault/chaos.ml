@@ -7,6 +7,7 @@ module Rng = Prb_util.Rng
 module Lock_table = Prb_lock.Lock_table
 module History = Prb_history.History
 module Scheduler = Prb_core.Scheduler
+module Detection_policy = Prb_core.Detection_policy
 module D = Prb_distrib.Dist_scheduler
 
 type engine = Centralized | Distributed
@@ -14,6 +15,7 @@ type engine = Centralized | Distributed
 type report = {
   engine : engine;
   seed : int;
+  label : string;
   plan : Fault.plan;
   commits : int;
   ticks : int;
@@ -26,8 +28,10 @@ let engine_name = function
   | Distributed -> "distributed"
 
 let pp_report ppf r =
-  Fmt.pf ppf "@[<v>%s seed %d: %d commits in %d ticks, %d faults — %s@,%a@]"
-    (engine_name r.engine) r.seed r.commits r.ticks r.faults_seen
+  Fmt.pf ppf "@[<v>%s%s seed %d: %d commits in %d ticks, %d faults — %s@,%a@]"
+    (engine_name r.engine)
+    (if String.equal r.label "" then "" else " [" ^ r.label ^ "]")
+    r.seed r.commits r.ticks r.faults_seen
     (if r.violations = [] then "ok"
      else String.concat "; " r.violations)
     Fault.pp_plan r.plan
@@ -88,6 +92,11 @@ type execution = {
   x_store : (Store.entity * Value.t) list;
   x_sum_ok : bool;
   x_stuck : string option;
+  x_max_rollbacks : int;  (** worst-hit transaction's rollback count *)
+  x_starved_fallbacks : int;  (** starvation-guard overrides *)
+  x_forced_restarts : int;
+      (** restarts outside victim selection (degraded-mode timeout
+          aborts), which the starvation bound must excuse *)
 }
 
 let residual_locks locks =
@@ -101,10 +110,18 @@ let residual_locks locks =
       | n -> Some (e, n))
     accounts
 
-let exec_centralized ~seed plan =
+let exec_centralized ?(detection = Detection_policy.Eager) ?starvation_limit
+    ~seed plan =
   let store = fresh_store () in
   let config =
-    { Scheduler.default_config with seed; max_ticks; faults = Some plan }
+    {
+      Scheduler.default_config with
+      seed;
+      max_ticks;
+      faults = Some plan;
+      detection;
+      starvation_limit;
+    }
   in
   let sched = Scheduler.create ~config store in
   List.iter (fun p -> ignore (Scheduler.submit sched p))
@@ -131,12 +148,24 @@ let exec_centralized ~seed plan =
     x_store = Store.snapshot store;
     x_sum_ok = Store.Constraint.holds conserved store;
     x_stuck = stuck;
+    x_max_rollbacks = s.Scheduler.max_txn_rollbacks;
+    x_starved_fallbacks = s.Scheduler.starvation_fallbacks;
+    x_forced_restarts = s.Scheduler.timeouts;
   }
 
-let exec_distributed ~seed plan =
+let exec_distributed ?(detection = Detection_policy.Eager) ?starvation_limit
+    ~seed plan =
   let store = fresh_store () in
   let config =
-    { D.default_config with n_sites; seed; max_ticks; faults = Some plan }
+    {
+      D.default_config with
+      n_sites;
+      seed;
+      max_ticks;
+      faults = Some plan;
+      detection_policy = detection;
+      starvation_limit;
+    }
   in
   let sched = D.create config store in
   List.iteri
@@ -166,12 +195,15 @@ let exec_distributed ~seed plan =
     x_store = Store.snapshot store;
     x_sum_ok = Store.Constraint.holds conserved store;
     x_stuck = stuck;
+    x_max_rollbacks = s.D.max_txn_rollbacks;
+    x_starved_fallbacks = s.D.starvation_fallbacks;
+    x_forced_restarts = s.D.timeout_aborts;
   }
 
-let execute engine ~seed plan =
+let execute ?detection ?starvation_limit engine ~seed plan =
   match engine with
-  | Centralized -> exec_centralized ~seed plan
-  | Distributed -> exec_distributed ~seed plan
+  | Centralized -> exec_centralized ?detection ?starvation_limit ~seed plan
+  | Distributed -> exec_distributed ?detection ?starvation_limit ~seed plan
 
 let check x =
   let v = ref [] in
@@ -211,6 +243,7 @@ let run_one engine ~seed ~plan =
   {
     engine;
     seed;
+    label = "";
     plan;
     commits = x.x_commits;
     ticks = x.x_ticks;
@@ -227,4 +260,78 @@ let sweep ?(horizon = 400) ~seeds () =
         run_one Centralized ~seed ~plan:central;
         run_one Distributed ~seed ~plan:distrib;
       ])
+    (List.init seeds (fun s -> s))
+
+(* --- The detection-policy x outage matrix ----------------------------- *)
+
+(* Low enough that the guard is actually exercised on this workload, high
+   enough that resolution never needs an immune victim on clean plans. *)
+let starvation_k = 4
+
+(* The no-starvation bound: with the guard at [k] and no fallback
+   resolutions, no transaction can be rolled back more than [k] times as
+   a victim — any excess must be covered by restarts that bypass victim
+   selection entirely (degraded-mode timeout aborts). *)
+let check_starvation x =
+  if
+    x.x_starved_fallbacks = 0
+    && x.x_max_rollbacks > starvation_k + x.x_forced_restarts
+  then
+    [
+      Printf.sprintf
+        "starvation bound violated: a txn rolled back %d times (limit %d, \
+         forced restarts %d)"
+        x.x_max_rollbacks starvation_k x.x_forced_restarts;
+    ]
+  else []
+
+(* An outage-only plan: the detector service is dark for a window long
+   enough to cover several scheduled passes of every policy, and nothing
+   else fails — so any violation is attributable to detection scheduling,
+   not to crash recovery. *)
+let outage_only_plan ~seed =
+  {
+    Fault.none with
+    Fault.fault_seed = seed;
+    detector_outages = [ { Fault.out_from = 60; out_until = 800 } ];
+  }
+
+let run_one_policy engine ~seed ~detection ~outage =
+  let plan = if outage then outage_only_plan ~seed else Fault.none in
+  let x =
+    execute ~detection ~starvation_limit:starvation_k engine ~seed plan
+  in
+  let x' =
+    execute ~detection ~starvation_limit:starvation_k engine ~seed plan
+  in
+  let violations =
+    check x @ check_starvation x
+    @ if same_execution x x' then [] else [ "replay diverged from first run" ]
+  in
+  {
+    engine;
+    seed;
+    label =
+      Detection_policy.to_string detection
+      ^ (if outage then "/outage" else "/clean");
+    plan;
+    commits = x.x_commits;
+    ticks = x.x_ticks;
+    faults_seen = x.x_faults;
+    violations;
+  }
+
+let policy_matrix ~seeds () =
+  List.concat_map
+    (fun seed ->
+      List.concat_map
+        (fun detection ->
+          List.concat_map
+            (fun outage ->
+              [
+                run_one_policy Centralized ~seed ~detection ~outage;
+                run_one_policy Distributed ~seed ~detection ~outage;
+              ])
+            [ false; true ])
+        Detection_policy.all)
     (List.init seeds (fun s -> s))

@@ -25,6 +25,9 @@ type engine = Centralized | Distributed
 type report = {
   engine : engine;
   seed : int;
+  label : string;
+      (** which matrix cell produced this report ("policy/outage" for
+          {!policy_matrix}; empty for plain runs) *)
   plan : Prb_fault.Fault.plan;
   commits : int;
   ticks : int;
@@ -45,6 +48,18 @@ val sweep : ?horizon:int -> seeds:int -> unit -> report list
     ({!Prb_fault.Fault.random}; site crashes only for the distributed one) and
     {!run_one} both engines — [2 * seeds] reports, deterministic in the
     seed range. [horizon] defaults to 400 ticks. *)
+
+val policy_matrix : seeds:int -> unit -> report list
+(** The liveness matrix for deferred detection: every
+    {!Prb_core.Detection_policy.all} policy, on both engines, under a
+    clean plan and under a detector-outage-only plan (nothing else fails,
+    so violations are attributable to detection scheduling), with the
+    starvation guard armed. Each cell is checked for the five {!run_one}
+    invariants {e plus} the no-starvation bound: when no resolution had
+    to override victim immunity, no transaction may have been rolled back
+    more than the guard's limit (excused only by degraded-mode forced
+    restarts, which bypass victim selection). [4 * 2 * 2 * seeds]
+    reports, deterministic in the seed range. *)
 
 val failures : report list -> report list
 (** Reports with a non-empty violation list. *)

@@ -29,6 +29,7 @@ module Txn_state = Prb_rollback.Txn_state
 
 (* concurrency control *)
 module Policy = Prb_core.Policy
+module Detection_policy = Prb_core.Detection_policy
 module Resolver = Prb_core.Resolver
 module Scheduler = Prb_core.Scheduler
 

@@ -213,6 +213,43 @@ let qcheck_distrib_serializable =
       let r = Dist_sim.run ~config ~store programs in
       r.Dist_sim.stats.D.commits = 30 && r.Dist_sim.serializable)
 
+(* Deferred detection policies on the multi-site engine: global rounds
+   batch several accreted cycles, and their victims restart staggered with
+   escalation for repeat victims — without that, the deterministic
+   workload replays the same collision forever (the livelock this test
+   regresses). Every deferred policy must still complete the contended
+   workload. *)
+let test_deferred_policies_complete () =
+  let module DP = Prb_core.Detection_policy in
+  List.iter
+    (fun detection_policy ->
+      let store = Generator.populate params in
+      let programs = Generator.generate params ~seed:4 ~n:60 in
+      let config =
+        {
+          Dist_sim.scheduler =
+            {
+              D.default_config with
+              n_sites = 4;
+              detection = D.Local_then_global 40;
+              detection_policy;
+              starvation_limit = Some 8;
+              seed = 4;
+              max_ticks = 400_000;
+            };
+          mpl = 8;
+        }
+      in
+      let r = Dist_sim.run ~config ~store programs in
+      let s = r.Dist_sim.stats in
+      checki
+        (Fmt.str "all commit under %a" DP.pp detection_policy)
+        60 s.D.commits;
+      checkb "cycles were actually deferred to global rounds" true
+        (s.D.global_deadlocks >= 1);
+      checkb "serializable" true r.Dist_sim.serializable)
+    DP.all_deferred
+
 let () =
   Alcotest.run "prb_distrib"
     [
@@ -236,5 +273,7 @@ let () =
           Alcotest.test_case "same-site resolved locally" `Quick
             test_same_site_deadlock_resolved_locally;
           Alcotest.test_case "wound-wait ages" `Quick test_wound_wait_orders_by_age;
+          Alcotest.test_case "deferred policies complete" `Slow
+            test_deferred_policies_complete;
         ] );
     ]

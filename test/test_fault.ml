@@ -210,6 +210,52 @@ let test_detector_outage_degrades () =
   checkb "serializable" true (History.serializable (D.history sched));
   checkb "no residual locks" true (residual_rows (D.lock_table sched) = [])
 
+(* A deadlock formed while the detector is out, under a deferred policy
+   on the centralised engine: every scheduled sweep in the window is
+   suppressed, so the blocked transactions overshoot the policy's stall
+   bound — the watchdog must force a recovery sweep as soon as the
+   detector is healthy again, and everything still commits. *)
+let test_watchdog_fires_after_outage () =
+  let module DP = Prb_core.Detection_policy in
+  let plan =
+    {
+      Fault.none with
+      horizon = 5_000;
+      detector_outages = [ { Fault.out_from = 0; out_until = 400 } ];
+      msg = no_msg;
+    }
+  in
+  let store = Store.of_list [ ("a", Value.int 0); ("b", Value.int 0) ] in
+  let config =
+    {
+      Scheduler.default_config with
+      detection = DP.Periodic 16;
+      faults = Some plan;
+      max_ticks = 50_000;
+    }
+  in
+  let sched = Scheduler.create ~config store in
+  let prog name first second =
+    Program.make ~name ~locals:[]
+      [
+        Program.lock_x first;
+        Program.lock_x second;
+        Program.write first (Expr.int 1);
+        Program.write second (Expr.int 2);
+      ]
+  in
+  ignore (Scheduler.submit sched (prog "t0" "a" "b"));
+  ignore (Scheduler.submit sched (prog "t1" "b" "a"));
+  Scheduler.run sched;
+  let s = Scheduler.stats sched in
+  checkb "all committed" true (Scheduler.all_committed sched);
+  checkb "sweeps were suppressed" true (s.Scheduler.missed_passes >= 1);
+  checkb "watchdog forced the recovery sweep" true
+    (s.Scheduler.watchdog_fires >= 1);
+  checkb "the deadlock was resolved, not timed out" true
+    (s.Scheduler.deadlocks >= 1);
+  checkb "serializable" true (History.serializable (Scheduler.history sched))
+
 (* --- Transaction crashes (centralised engine) ------------------------- *)
 
 let test_txn_crash_centralized () =
@@ -341,6 +387,18 @@ let test_chaos_sweep () =
   checkb "chaos actually injected faults" true
     (List.exists (fun r -> r.Chaos.faults_seen > 0) reports)
 
+let test_chaos_policy_matrix () =
+  (* every detection policy × detector-outage × engine: runs must stay
+     deterministic, fully committed, orphan-free and starvation-free *)
+  let reports = Chaos.policy_matrix ~seeds:2 () in
+  checki "2 seeds x 4 policies x outage on/off x 2 engines" 32
+    (List.length reports);
+  let bad = Chaos.failures reports in
+  List.iter (fun r -> Fmt.epr "chaos failure: %a@." Chaos.pp_report r) bad;
+  checkb "all policy-matrix runs clean" true (bad = []);
+  checkb "outage plans actually injected faults" true
+    (List.exists (fun r -> r.Chaos.faults_seen > 0) reports)
+
 let () =
   Alcotest.run "prb_fault"
     [
@@ -364,6 +422,8 @@ let () =
         [
           Alcotest.test_case "degrades to timeout-abort" `Quick
             test_detector_outage_degrades;
+          Alcotest.test_case "watchdog fires after outage" `Quick
+            test_watchdog_fires_after_outage;
         ] );
       ( "txn crash",
         [
@@ -382,5 +442,9 @@ let () =
             test_broken_rebuild_caught;
         ] );
       ( "chaos",
-        [ Alcotest.test_case "sweep 50 plans" `Slow test_chaos_sweep ] );
+        [
+          Alcotest.test_case "sweep 50 plans" `Slow test_chaos_sweep;
+          Alcotest.test_case "policy x outage matrix" `Slow
+            test_chaos_policy_matrix;
+        ] );
     ]

@@ -34,6 +34,9 @@ let test_umbrella_surface () =
      a compile error here *)
   checkb "strategy" true (Strategy.to_string Strategy.Sdg = "sdg");
   checkb "policy" true (Policy.of_string "youngest" = Some Policy.Youngest);
+  checkb "detection policy" true
+    (Detection_policy.of_string "periodic:32"
+    = Some (Detection_policy.Periodic 32));
   checkb "zipf" true (Zipf.n (Zipf.make ~n:3 ~theta:0.5) = 3);
   checkb "rng" true (Rng.int (Rng.make 1) 10 < 10);
   checkb "digraph" true (Digraph.n_vertices (Digraph.create ()) = 0);

@@ -286,6 +286,12 @@ let test_timeout_intervention () =
   checki "no detection ran" 0 s.Scheduler.deadlocks;
   checkb "a timeout fired" true (s.Scheduler.timeouts >= 1);
   checkb "stall lasted at least the timer" true (s.Scheduler.ticks >= 20);
+  (* the aborted transaction's blocking episode must show up in the
+     duration stats (it used to be dropped on the self-restart path) *)
+  checkb "abort episode measured" true (s.Scheduler.max_blocked_ticks >= 20);
+  checkb "durations accumulate" true
+    (s.Scheduler.total_blocked_ticks >= s.Scheduler.max_blocked_ticks);
+  checki "blocked table drained" 0 (Scheduler.n_blocked_tracked sched);
   checkb "serializable" true (History.serializable (Scheduler.history sched))
 
 let test_prevention_interventions () =
@@ -424,6 +430,97 @@ let qcheck_serializability_sweep =
       Scheduler.all_committed sched
       && History.serializable (Scheduler.history sched))
 
+(* Deferred detection (DESIGN.md Section 11): cycles accrete between
+   scheduled sweeps instead of being resolved at block time, and one pass
+   then clears all of them. *)
+let test_deferred_sweep_batches_cycles () =
+  let module DP = Prb_core.Detection_policy in
+  let module Waits_for = Prb_wfg.Waits_for in
+  let store =
+    Store.of_list
+      (List.map (fun e -> (e, Value.int 100)) [ "a"; "b"; "c"; "d" ])
+  in
+  let config =
+    { Scheduler.default_config with detection = DP.Periodic 16 }
+  in
+  let sched = Scheduler.create ~config store in
+  let rounds = ref [] in
+  Scheduler.set_deadlock_hook sched (fun ~requester:_ ~cycles ~decision:_ ->
+      rounds := (Scheduler.now sched, List.length cycles) :: !rounds);
+  (* two disjoint deadlocks, both fully formed within a few ticks *)
+  let _ = Scheduler.submit sched (transfer ~name:"ab" ~src:"a" ~dst:"b" ~amount:1) in
+  let _ = Scheduler.submit sched (transfer ~name:"ba" ~src:"b" ~dst:"a" ~amount:2) in
+  let _ = Scheduler.submit sched (transfer ~name:"cd" ~src:"c" ~dst:"d" ~amount:3) in
+  let _ = Scheduler.submit sched (transfer ~name:"dc" ~src:"d" ~dst:"c" ~amount:4) in
+  Scheduler.run sched;
+  let s = Scheduler.stats sched in
+  checkb "all commit" true (Scheduler.all_committed sched);
+  checkb "both cycles resolved" true (s.Scheduler.deadlocks >= 2);
+  checkb "a scheduled sweep ran" true (s.Scheduler.detection_passes >= 1);
+  (* deferral: nothing resolved before the first period boundary, even
+     though both cycles were closed almost immediately *)
+  List.iter
+    (fun (tick, _) -> checkb "resolution waited for the sweep" true (tick >= 16))
+    !rounds;
+  (* removal left nothing behind: no residual waits, no orphaned locks *)
+  checkb "waits-for graph drained" true
+    (Waits_for.edges (Scheduler.waits_for sched) = []);
+  checkb "no orphaned locks" true
+    (List.for_all
+       (fun id -> Prb_lock.Lock_table.n_held (Scheduler.lock_table sched) id = 0)
+       (Scheduler.all_txns sched));
+  checkb "serializable" true (History.serializable (Scheduler.history sched))
+
+(* qcheck: every deferred policy, on a contended workload with the
+   starvation guard armed, still commits everything, leaves the waits-for
+   graph empty and the lock table clean, and keeps the worst-hit
+   transaction within the guard's bound (unless a fallback was recorded —
+   the one case the guard is allowed to be overridden). *)
+let qcheck_deferred_liveness =
+  let module DP = Prb_core.Detection_policy in
+  let module Waits_for = Prb_wfg.Waits_for in
+  QCheck.Test.make
+    ~name:"deferred detection leaves no cycles, orphans or starvation"
+    ~count:30
+    QCheck.(triple small_int (int_bound 2) (int_bound 1))
+    (fun (seed, pol_i, strat_i) ->
+      let detection = List.nth DP.all_deferred pol_i in
+      let strategy = List.nth [ Strategy.Sdg; Strategy.Total ] strat_i in
+      let params =
+        {
+          Generator.default_params with
+          n_entities = 14;
+          zipf_theta = 0.8;
+          max_locks = 5;
+        }
+      in
+      let store = Generator.populate params in
+      let programs = Generator.generate params ~seed ~n:30 in
+      let config =
+        {
+          Scheduler.default_config with
+          detection;
+          starvation_limit = Some 6;
+          strategy;
+          seed;
+          max_ticks = 500_000;
+        }
+      in
+      let sched = Scheduler.create ~config store in
+      List.iter (fun p -> ignore (Scheduler.submit sched p)) programs;
+      Scheduler.run sched;
+      let s = Scheduler.stats sched in
+      Scheduler.all_committed sched
+      && History.serializable (Scheduler.history sched)
+      && Waits_for.edges (Scheduler.waits_for sched) = []
+      && List.for_all
+           (fun id ->
+             Prb_lock.Lock_table.n_held (Scheduler.lock_table sched) id = 0)
+           (Scheduler.all_txns sched)
+      && (s.Scheduler.starvation_fallbacks > 0
+         || s.Scheduler.max_txn_rollbacks <= 6)
+      && Scheduler.n_blocked_tracked sched = 0)
+
 (* qcheck: money conservation under concurrent transfers with deadlocks,
    for every strategy. *)
 let qcheck_conservation =
@@ -486,6 +583,8 @@ let () =
             test_dirty_set_fixpoint_contended;
           Alcotest.test_case "blocked-since table drains" `Quick
             test_blocked_since_no_leak;
+          Alcotest.test_case "deferred sweep batches cycles" `Quick
+            test_deferred_sweep_batches_cycles;
         ] );
       ( "liveness",
         [
@@ -503,6 +602,7 @@ let () =
       ( "properties",
         [
           QCheck_alcotest.to_alcotest qcheck_serializability_sweep;
+          QCheck_alcotest.to_alcotest qcheck_deferred_liveness;
           QCheck_alcotest.to_alcotest qcheck_conservation;
         ] );
     ]
