@@ -164,6 +164,57 @@ let bench_sdg_analysis =
   Test.make ~name:"static SDG analysis (6 locks)"
     (Staged.stage (fun () -> Sdg_view.well_defined_states growing_program))
 
+(* The steady-state lock hot path: grant then release against a warm
+   table whose entity slots are already interned, so the loop touches
+   only the dense per-entity buffers. *)
+let bench_lock_grant_release =
+  let t = Prb_lock.Lock_table.create () in
+  let mode = Prb_txn.Lock_mode.Exclusive in
+  let names = Array.init 16 (Printf.sprintf "W%d") in
+  Array.iter
+    (fun e ->
+      ignore (Prb_lock.Lock_table.request t 0 mode e);
+      ignore (Prb_lock.Lock_table.release t 0 e))
+    names;
+  Test.make ~name:"lock grant+release (warm, 16 entities)"
+    (Staged.stage (fun () ->
+         Array.iter
+           (fun e ->
+             ignore (Prb_lock.Lock_table.request t 0 mode e);
+             ignore (Prb_lock.Lock_table.release t 0 e))
+           names))
+
+(* Re-interning a known name — the per-request cost of the slot map that
+   replaced the string-keyed spine. *)
+let bench_interner =
+  let it = Prb_util.Dense.Interner.create () in
+  let names = Array.init 64 (Printf.sprintf "E%d") in
+  Array.iter (fun e -> ignore (Prb_util.Dense.Interner.intern it e)) names;
+  Test.make ~name:"interner re-lookup (64 warm names)"
+    (Staged.stage (fun () ->
+         Array.iter
+           (fun e -> ignore (Prb_util.Dense.Interner.intern it e))
+           names))
+
+(* Segment recycling: a full history lifetime (create, 16 writes,
+   dispose) against a warm pool, so every buffer comes from and returns
+   to the free list instead of the allocator. *)
+let bench_pool_recycle =
+  let pool = History_stack.Pool.create () in
+  let cycle () =
+    let h =
+      History_stack.Pool.acquire pool ~budget:max_int ~created_at:0
+        ~initial:(Value.int 0)
+    in
+    for w = 1 to 16 do
+      History_stack.write h ~lock_index:w (Value.int w)
+    done;
+    History_stack.Pool.release pool h
+  in
+  cycle ();
+  Test.make ~name:"history lifetime via pool (16 writes)"
+    (Staged.stage cycle)
+
 let bench_articulation =
   let g = Ugraph.create () in
   for i = 0 to 19 do
@@ -195,6 +246,9 @@ let run () =
       bench_txn_execute;
       bench_rollback;
       bench_sdg_analysis;
+      bench_lock_grant_release;
+      bench_interner;
+      bench_pool_recycle;
       bench_articulation;
       bench_scc;
     ]

@@ -6,7 +6,8 @@ module Waits_for = Prb_wfg.Waits_for
 module Strategy = Prb_rollback.Strategy
 module Txn_state = Prb_rollback.Txn_state
 module History = Prb_history.History
-module Heap = Prb_util.Heap
+module History_stack = Prb_rollback.History_stack
+module Pqueue = Prb_util.Dense.Pqueue
 module Rng = Prb_util.Rng
 module Util = Prb_util.Util
 module Txn_id = Prb_txn.Txn_id
@@ -57,36 +58,47 @@ let src = Logs.Src.create "prb.scheduler" ~doc:"partial-rollback scheduler"
 
 module Log = (val Logs.src_log src : Logs.LOG)
 
-type event =
-  | Exec of int
-  | Timer of int  (** a [Timeout_abort] timer for the transaction *)
-  | Crash_txn of int
-      (** a scheduled transaction crash; the payload is the plan's victim
-          selector, resolved against the live growing transactions when
-          the crash fires *)
-  | Detect_tick
-      (** a scheduled detection pass ([Periodic]/[Adaptive]); fires a full
-          sweep and reschedules itself, so the queue never drains while
-          transactions are deadlocked *)
-  | Probe of int * int
-      (** a [Lazy_on_timeout] probe for a blocked transaction; the second
-          payload is the tick at which the wait being probed began, so a
-          probe armed for an abandoned wait dies silently (the next block
-          arms a fresh one) *)
-  | Watchdog
-      (** the stall watchdog: periodically checks for a transaction
-          blocked past the policy's stall bound with no detection pass
-          since it blocked, and forces a full sweep if one exists *)
+(* Events live in a dense int-payload queue ({!Pqueue}): each entry is a
+   (tag, a, b) triple, so the steady-state tick loop pushes and pops
+   without allocating. The tags: *)
+
+let ev_exec = 0 (* [a] = transaction id *)
+let ev_timer = 1 (* a [Timeout_abort] timer; [a] = transaction id *)
+
+let ev_crash_txn = 2
+(* a scheduled transaction crash; [a] is the plan's victim selector
+   (possibly negative), resolved against the live growing transactions
+   when the crash fires *)
+
+let ev_detect_tick = 3
+(* a scheduled detection pass ([Periodic]/[Adaptive]); fires a full
+   sweep and reschedules itself, so the queue never drains while
+   transactions are deadlocked *)
+
+let ev_probe = 4
+(* a [Lazy_on_timeout] probe for a blocked transaction [a]; [b] is the
+   tick at which the wait being probed began, so a probe armed for an
+   abandoned wait dies silently (the next block arms a fresh one) *)
+
+let ev_watchdog = 5
+(* the stall watchdog: periodically checks for a transaction blocked
+   past the policy's stall bound with no detection pass since it
+   blocked, and forces a full sweep if one exists *)
 
 type t = {
   cfg : config;
   store : Store.t;
   locks : Lock_table.t;
   wfg : Waits_for.t;
-  txns : (int, Txn_state.t) Hashtbl.t;
-  events : event Heap.t;
+  mutable txns : Txn_state.t option array;
+      (** indexed by transaction id; ids are dense ([0 .. next_id)), and a
+          slot is [Some] from submission onward (committed transactions
+          stay, carrying their accounting) *)
+  events : Pqueue.t;
   hist : History.t;
   rng : Rng.t;
+  pool : History_stack.Pool.t;
+      (** recycles history-stack buffers across all transactions *)
   mutable next_id : int;
   mutable tick : int;
   mutable commits : int;
@@ -99,23 +111,28 @@ type t = {
   mutable timeout_events : int;
   mutable prevention_events : int;
   mutable txn_crash_events : int;
-  crash_counts : (int, int) Hashtbl.t;
+  mutable crash_counts : int array;
       (** crashes suffered per transaction, driving re-admission backoff *)
-  wait_dirty : (int, unit) Hashtbl.t;
-      (** transactions whose waits-for out-edges were (re)installed since
-          the graph was last known acyclic; every cycle passes through one
-          of them, so deadlock resolution seeds its search here instead of
-          rescanning all blocked transactions each round *)
+  mutable wait_dirty : bool array;
+      (** flags transactions whose waits-for out-edges were (re)installed
+          since the graph was last known acyclic; every cycle passes
+          through one of them, so deadlock resolution seeds its search
+          here instead of rescanning all blocked transactions each round.
+          [dirty_ids.(0 .. n_dirty)] lists the flagged ids (unsorted,
+          duplicate-free). *)
+  mutable dirty_ids : int array;
+  mutable n_dirty : int;
   mutable detect_seconds : float;
   mutable detect_calls : int;
-  blocked_since : (int, int) Hashtbl.t;
-      (** tick at which each currently-blocked transaction blocked; feeds
-          [Timeout_abort] timers, lazy probes, the stall watchdog and the
-          blocked-duration statistics *)
-  lazy_false : (int, int) Hashtbl.t;
+  mutable blocked_since : int array;
+      (** tick at which each currently-blocked transaction blocked ([-1]
+          when untracked); feeds [Timeout_abort] timers, lazy probes, the
+          stall watchdog and the blocked-duration statistics *)
+  mutable n_blocked : int;  (** entries of [blocked_since] that are set *)
+  mutable lazy_false : int array;
       (** per-transaction count of consecutive false-alarm lazy probes in
           the current blocking episode, driving probe backoff *)
-  rollback_counts : (int, int) Hashtbl.t;
+  mutable rollback_counts : int array;
       (** rollbacks suffered per transaction, driving the starvation
           guard's victim immunity *)
   mutable last_detect_tick : int;
@@ -130,13 +147,15 @@ type t = {
   mutable missed_passes : int;
   mutable max_blocked_ticks : int;
   mutable total_blocked_ticks : int;
-  submit_ticks : (int, int) Hashtbl.t;
-  commit_ticks : (int, int) Hashtbl.t;
+  mutable submit_ticks : int array;  (** [-1] when never submitted *)
+  mutable commit_ticks : int array;  (** [-1] when uncommitted *)
   mutable ops_committed : int;
   mutable deadlock_hook :
     (requester:int -> cycles:Resolver.cycle list -> decision:Resolver.decision -> unit)
     option;
 }
+
+let initial_txn_cap = 64
 
 let create ?(config = default_config) store =
   let t =
@@ -145,10 +164,11 @@ let create ?(config = default_config) store =
     store;
     locks = Lock_table.create ~fair:config.fair_locking ();
     wfg = Waits_for.create ();
-    txns = Hashtbl.create 64;
-    events = Heap.create ();
+    txns = Array.make initial_txn_cap None;
+    events = Pqueue.create ();
     hist = History.create ();
     rng = Rng.make config.seed;
+    pool = History_stack.Pool.create ();
     next_id = 0;
     tick = 0;
     commits = 0;
@@ -161,13 +181,16 @@ let create ?(config = default_config) store =
     timeout_events = 0;
     prevention_events = 0;
     txn_crash_events = 0;
-    crash_counts = Hashtbl.create 8;
-    wait_dirty = Hashtbl.create 16;
+    crash_counts = Array.make initial_txn_cap 0;
+    wait_dirty = Array.make initial_txn_cap false;
+    dirty_ids = Array.make 16 0;
+    n_dirty = 0;
     detect_seconds = 0.0;
     detect_calls = 0;
-    blocked_since = Hashtbl.create 16;
-    lazy_false = Hashtbl.create 16;
-    rollback_counts = Hashtbl.create 16;
+    blocked_since = Array.make initial_txn_cap (-1);
+    n_blocked = 0;
+    lazy_false = Array.make initial_txn_cap 0;
+    rollback_counts = Array.make initial_txn_cap 0;
     last_detect_tick = 0;
     detect_interval = Detection_policy.initial_interval config.detection;
     quiet_passes = 0;
@@ -177,8 +200,8 @@ let create ?(config = default_config) store =
     missed_passes = 0;
     max_blocked_ticks = 0;
     total_blocked_ticks = 0;
-    submit_ticks = Hashtbl.create 64;
-    commit_ticks = Hashtbl.create 64;
+    submit_ticks = Array.make initial_txn_cap (-1);
+    commit_ticks = Array.make initial_txn_cap (-1);
     ops_committed = 0;
     deadlock_hook = None;
   }
@@ -187,8 +210,8 @@ let create ?(config = default_config) store =
   | Some p when not (Fault.is_none p) ->
       List.iter
         (fun (c : Fault.txn_crash) ->
-          Heap.push t.events ~priority:(max 1 c.Fault.crash_at)
-            (Crash_txn c.Fault.victim))
+          Pqueue.push t.events ~priority:(max 1 c.Fault.crash_at)
+            ~tag:ev_crash_txn ~a:c.Fault.victim ())
         p.Fault.txn_crashes
   | Some _ | None -> ());
   (* A deferred detection policy supplies its own wake sources up front:
@@ -199,61 +222,94 @@ let create ?(config = default_config) store =
   | Detect when not (Detection_policy.is_eager config.detection) ->
       (match config.detection with
       | Detection_policy.Periodic _ | Detection_policy.Adaptive ->
-          Heap.push t.events
+          Pqueue.push t.events
             ~priority:(Detection_policy.initial_interval config.detection)
-            Detect_tick
+            ~tag:ev_detect_tick ()
       | Detection_policy.Eager | Detection_policy.Lazy_on_timeout _ -> ());
-      Heap.push t.events
+      Pqueue.push t.events
         ~priority:(Detection_policy.stall_bound config.detection)
-        Watchdog
+        ~tag:ev_watchdog ()
   | Detect | Timeout_abort _ | Wound_wait_c | Wait_die_c -> ());
   t
 
 let config t = t.cfg
 let store t = t.store
 
+(* Ids are allocated densely, so every per-transaction array grows in
+   lockstep the moment a new id would fall off the end. *)
+let ensure_txn_cap t id =
+  let old = Array.length t.txns in
+  if id >= old then begin
+    let cap = max (id + 1) (2 * old) in
+    let grow fill a =
+      let b = Array.make cap fill in
+      Array.blit a 0 b 0 old;
+      b
+    in
+    t.txns <- grow None t.txns;
+    t.crash_counts <- grow 0 t.crash_counts;
+    t.wait_dirty <- grow false t.wait_dirty;
+    t.blocked_since <- grow (-1) t.blocked_since;
+    t.lazy_false <- grow 0 t.lazy_false;
+    t.rollback_counts <- grow 0 t.rollback_counts;
+    t.submit_ticks <- grow (-1) t.submit_ticks;
+    t.commit_ticks <- grow (-1) t.commit_ticks
+  end
+
 let submit_at ?copy_allocation t ~at program =
   let at = max at t.tick in
   let id = t.next_id in
   t.next_id <- id + 1;
+  ensure_txn_cap t id;
   let ts =
-    Txn_state.create ?copy_allocation ~strategy:t.cfg.strategy ~id
-      ~store:t.store program
+    Txn_state.create ?copy_allocation ~pool:t.pool ~strategy:t.cfg.strategy
+      ~id ~store:t.store program
   in
-  Hashtbl.replace t.txns id ts;
-  Hashtbl.replace t.submit_ticks id at;
+  t.txns.(id) <- Some ts;
+  t.submit_ticks.(id) <- at;
   Waits_for.add_txn t.wfg id;
-  Heap.push t.events ~priority:(max (t.tick + 1) at) (Exec id);
+  Pqueue.push t.events ~priority:(max (t.tick + 1) at) ~tag:ev_exec ~a:id ();
   id
 
 let submit ?copy_allocation t program =
   submit_at ?copy_allocation t ~at:t.tick program
 
 let txn_state t id =
-  match Hashtbl.find_opt t.txns id with
-  | Some ts -> ts
-  | None -> raise Not_found
+  if id < 0 || id >= t.next_id then raise Not_found
+  else
+    match t.txns.(id) with Some ts -> ts | None -> raise Not_found
 
-let all_txns t = Util.sorted_keys Txn_id.compare t.txns
+let all_txns t = List.init t.next_id Fun.id
 
 let now t = t.tick
 let n_committed t = t.commits
-let all_committed t = t.commits = Hashtbl.length t.txns
+let all_committed t = t.commits = t.next_id
 let waits_for t = t.wfg
 let lock_table t = t.locks
 let history t = t.hist
 let detection_seconds t = t.detect_seconds
 let detection_calls t = t.detect_calls
-let n_blocked_tracked t = Hashtbl.length t.blocked_since
+let n_blocked_tracked t = t.n_blocked
 
-let schedule t id = Heap.push t.events ~priority:(t.tick + 1) (Exec id)
+let schedule t id =
+  Pqueue.push t.events ~priority:(t.tick + 1) ~tag:ev_exec ~a:id ()
 
 (* Every (re)installation of wait edges goes through here so the dirty
    set stays a sound overapproximation of "out-edges changed since the
-   graph was last acyclic" — the invariant resolve_deadlocks leans on. *)
+   graph was last acyclic" — the invariant resolve_deadlocks leans on.
+   The flag array keeps [dirty_ids] duplicate-free. *)
 let set_wait t ~waiter ~holders e =
   Waits_for.set_wait t.wfg ~waiter ~holders e;
-  Hashtbl.replace t.wait_dirty waiter ()
+  if not t.wait_dirty.(waiter) then begin
+    t.wait_dirty.(waiter) <- true;
+    (if t.n_dirty = Array.length t.dirty_ids then begin
+       let b = Array.make (2 * t.n_dirty) 0 in
+       Array.blit t.dirty_ids 0 b 0 t.n_dirty;
+       t.dirty_ids <- b
+     end);
+    t.dirty_ids.(t.n_dirty) <- waiter;
+    t.n_dirty <- t.n_dirty + 1
+  end
 
 (* After the holder set of [e] changed without a grant, blocked waiters'
    waits-for edges must track the new holders. O(1) exit when nothing
@@ -272,26 +328,24 @@ let refresh_waiters t e =
    Every path that unblocks a transaction funnels through here — including
    rollback victims, which the stats fold used to lose entirely. *)
 let note_unblocked t id =
-  match Hashtbl.find_opt t.blocked_since id with
-  | None -> ()
-  | Some since ->
-      let d = t.tick - since in
-      if d > t.max_blocked_ticks then t.max_blocked_ticks <- d;
-      t.total_blocked_ticks <- t.total_blocked_ticks + d;
-      Hashtbl.remove t.blocked_since id;
-      Hashtbl.remove t.lazy_false id
+  let since = t.blocked_since.(id) in
+  if since >= 0 then begin
+    let d = t.tick - since in
+    if d > t.max_blocked_ticks then t.max_blocked_ticks <- d;
+    t.total_blocked_ticks <- t.total_blocked_ticks + d;
+    t.blocked_since.(id) <- -1;
+    t.n_blocked <- t.n_blocked - 1;
+    t.lazy_false.(id) <- 0
+  end
 
-let note_rollback t v =
-  let n = 1 + Option.value ~default:0 (Hashtbl.find_opt t.rollback_counts v) in
-  Hashtbl.replace t.rollback_counts v n
+let note_rollback t v = t.rollback_counts.(v) <- t.rollback_counts.(v) + 1
 
 (* The starvation guard: a transaction rolled back at least
    [starvation_limit] times is shielded from victim selection (the
    resolver falls back to it only when a cycle offers nobody else). *)
 let immune t v =
   match t.cfg.starvation_limit with
-  | Some k ->
-      Option.value ~default:0 (Hashtbl.find_opt t.rollback_counts v) >= k
+  | Some k -> t.rollback_counts.(v) >= k
   | None -> false
 
 let process_grants t grants =
@@ -393,9 +447,9 @@ let self_restart ?(extra_delay = 0) t id =
       History.discard t.hist id e;
       release_lock t id e)
     released;
-  Heap.push t.events
+  Pqueue.push t.events
     ~priority:(t.tick + 1 + t.cfg.restart_delay + extra_delay)
-    (Exec id)
+    ~tag:ev_exec ~a:id ()
 
 (* How many rollbacks a transaction may suffer before a deferred round
    stops rolling it back partially and escalates to a delayed full
@@ -469,21 +523,15 @@ let apply_partial_rollback t ~deferred ~stagger v entities =
   let backoff =
     if not deferred then 0
     else
-      let n =
-        match Hashtbl.find_opt t.rollback_counts v with
-        | Some n -> n
-        | None -> 0
-      in
+      let n = t.rollback_counts.(v) in
       stagger + (n * n)
   in
-  Heap.push t.events
+  Pqueue.push t.events
     ~priority:(t.tick + 1 + t.cfg.restart_delay + backoff)
-    (Exec v)
+    ~tag:ev_exec ~a:v ()
 
 let apply_rollback ?(deferred = false) ?(stagger = 0) t v entities =
-  let prior =
-    match Hashtbl.find_opt t.rollback_counts v with Some n -> n | None -> 0
-  in
+  let prior = t.rollback_counts.(v) in
   if deferred && prior >= deferred_escalation then
     self_restart t v ~extra_delay:(stagger + min 4096 (prior * prior))
   else apply_partial_rollback t ~deferred ~stagger v entities
@@ -567,16 +615,38 @@ let resolve_round t ~deferred requester cycles =
    targeted probe's single reachable slice never does. *)
 let resolve_deadlocks t ~deferred primary =
   let round = ref 0 in
-  let converged () = Hashtbl.reset t.wait_dirty in
+  let converged () =
+    for i = 0 to t.n_dirty - 1 do
+      t.wait_dirty.(t.dirty_ids.(i)) <- false
+    done;
+    t.n_dirty <- 0
+  in
+  (* Ascending-id seed order is part of the replayable contract (it was
+     [Util.sorted_keys] over the dirty table); a round's resolutions can
+     append new dirty ids, so the prefix is re-sorted every round. *)
+  let sort_dirty () =
+    let a = t.dirty_ids in
+    for i = 1 to t.n_dirty - 1 do
+      let x = a.(i) in
+      let j = ref (i - 1) in
+      while !j >= 0 && a.(!j) > x do
+        a.(!j + 1) <- a.(!j);
+        decr j
+      done;
+      a.(!j + 1) <- x
+    done
+  in
   let rec fixpoint () =
     incr round;
     if !round > 1000 then
       raise (Stuck "deadlock resolution did not converge");
-    let seeds =
-      List.filter
-        (fun id -> Waits_for.is_blocked t.wfg id)
-        (Util.sorted_keys Txn_id.compare t.wait_dirty)
-    in
+    sort_dirty ();
+    let seeds = ref [] in
+    for i = t.n_dirty - 1 downto 0 do
+      let id = t.dirty_ids.(i) in
+      if Waits_for.is_blocked t.wfg id then seeds := id :: !seeds
+    done;
+    let seeds = !seeds in
     if seeds = [] then converged ()
     else
       match Waits_for.on_cycle_from t.wfg seeds with
@@ -716,8 +786,8 @@ let crash_transaction t selector =
   | [] -> ()
   | _ :: _ ->
       let id = List.nth live (abs selector mod List.length live) in
-      let n = 1 + Option.value ~default:0 (Hashtbl.find_opt t.crash_counts id) in
-      Hashtbl.replace t.crash_counts id n;
+      let n = 1 + t.crash_counts.(id) in
+      t.crash_counts.(id) <- n;
       t.txn_crash_events <- t.txn_crash_events + 1;
       Log.info (fun m -> m "[%d] T%d crashed (crash #%d)" t.tick id n);
       let to_ =
@@ -740,7 +810,8 @@ let crash_transaction t selector =
           History.discard t.hist id e;
           release_lock t id e)
         released;
-      Heap.push t.events ~priority:(t.tick + 1 + delay) (Exec id)
+      Pqueue.push t.events ~priority:(t.tick + 1 + delay) ~tag:ev_exec ~a:id
+        ()
 
 (* --- Executing one transaction step -------------------------------- *)
 
@@ -765,7 +836,8 @@ let handle_lock_request t id mode e =
       (* Every block is tracked, whatever the intervention: the duration
          feeds the blocked-time statistics, the lazy probes and the stall
          watchdog; [Timeout_abort] timers read it as before. *)
-      Hashtbl.replace t.blocked_since id t.tick;
+      if t.blocked_since.(id) < 0 then t.n_blocked <- t.n_blocked + 1;
+      t.blocked_since.(id) <- t.tick;
       match t.cfg.intervention with
       | Detect -> (
           match t.cfg.detection with
@@ -785,10 +857,11 @@ let handle_lock_request t id mode e =
               (* the request path pays nothing; the sweep chain detects *)
               ()
           | Detection_policy.Lazy_on_timeout { blocked_ticks; _ } ->
-              Heap.push t.events
+              Pqueue.push t.events
                 ~priority:(t.tick + blocked_ticks)
-                (Probe (id, t.tick)))
-      | Timeout_abort n -> Heap.push t.events ~priority:(t.tick + n) (Timer id)
+                ~tag:ev_probe ~a:id ~b:t.tick ())
+      | Timeout_abort n ->
+          Pqueue.push t.events ~priority:(t.tick + n) ~tag:ev_timer ~a:id ()
       | Wound_wait_c -> wound_younger_blockers t id e holders
       | Wait_die_c ->
           if List.exists (fun b -> b < id) holders then begin
@@ -823,14 +896,20 @@ let handle_commit t id =
   (* A committer was never blocked at this point, but a stale
      [blocked_since] entry may still linger (set on a block, cleared on
      grant paths only) — drop it without folding it into the duration
-     stats (the wait it describes ended long ago), so the table cannot
-     grow without bound over a long run. *)
-  Hashtbl.remove t.blocked_since id;
-  Hashtbl.remove t.lazy_false id;
+     stats (the wait it describes ended long ago). *)
+  if t.blocked_since.(id) >= 0 then begin
+    t.blocked_since.(id) <- -1;
+    t.n_blocked <- t.n_blocked - 1
+  end;
+  t.lazy_false.(id) <- 0;
   Log.debug (fun m -> m "[%d] T%d committed" t.tick id);
-  Hashtbl.replace t.commit_ticks id t.tick;
+  t.commit_ticks.(id) <- t.tick;
   t.commits <- t.commits + 1;
-  t.ops_committed <- t.ops_committed + Program.length (Txn_state.program ts)
+  t.ops_committed <- t.ops_committed + Program.length (Txn_state.program ts);
+  (* The transaction is retired: its remaining history buffers go back to
+     the pool for the next admission. The accounting the stats fold reads
+     (ops lost/executed, peak copies, rollbacks) survives disposal. *)
+  Txn_state.dispose ts
 
 let exec_one t id =
   let ts = txn_state t id in
@@ -850,175 +929,168 @@ let exec_one t id =
             schedule t id
         | Txn_state.At_end -> handle_commit t id)
 
+let handle_timer t id =
+  (* a Timeout_abort timer: restart the waiter if it is still stuck on
+     the same wait *)
+  let n =
+    match t.cfg.intervention with
+    | Timeout_abort n -> n
+    | Detect | Wound_wait_c | Wait_die_c -> max_int
+  in
+  let since = t.blocked_since.(id) in
+  if since >= 0 && Waits_for.is_blocked t.wfg id then
+    if since + n <= t.tick then begin
+      t.timeout_events <- t.timeout_events + 1;
+      Log.info (fun m -> m "[%d] T%d timed out; restarting" t.tick id);
+      self_restart t id
+    end
+    else Pqueue.push t.events ~priority:(since + n) ~tag:ev_timer ~a:id ()
+
+let handle_detect_tick t =
+  (* the sweep chain: run (or miss, during an outage) a full pass and
+     reschedule — self-perpetuating so deadlocked configurations always
+     have a pending wake source *)
+  match t.cfg.detection with
+  | Detection_policy.Periodic n ->
+      if in_detector_outage t then t.missed_passes <- t.missed_passes + 1
+      else ignore (run_sweep t);
+      Pqueue.push t.events ~priority:(t.tick + n) ~tag:ev_detect_tick ()
+  | Detection_policy.Adaptive ->
+      (if in_detector_outage t then t.missed_passes <- t.missed_passes + 1
+       else begin
+         let found = run_sweep t in
+         if found then begin
+           (* deadlocks are arriving: halve the interval *)
+           t.detect_interval <-
+             max Detection_policy.adaptive_min (t.detect_interval / 2);
+           t.quiet_passes <- 0
+         end
+         else begin
+           t.quiet_passes <- t.quiet_passes + 1;
+           if t.quiet_passes >= 2 then begin
+             (* two consecutive empty sweeps: back off *)
+             t.detect_interval <-
+               min Detection_policy.adaptive_max (t.detect_interval * 2);
+             t.quiet_passes <- 0
+           end
+         end
+       end);
+      Pqueue.push t.events ~priority:(t.tick + t.detect_interval)
+        ~tag:ev_detect_tick ()
+  | Detection_policy.Eager | Detection_policy.Lazy_on_timeout _ -> ()
+
+let handle_probe t id armed =
+  match t.cfg.detection with
+  | Detection_policy.Lazy_on_timeout { blocked_ticks; backoff } ->
+      let since = t.blocked_since.(id) in
+      if since >= 0 && since = armed && Waits_for.is_blocked t.wfg id then
+        if in_detector_outage t then begin
+          (* detector down: the probe is lost; re-arm past the outage
+             (the watchdog, re-armed at the outage end itself, checks
+             first on recovery) *)
+          t.missed_passes <- t.missed_passes + 1;
+          Pqueue.push t.events
+            ~priority:(outage_end t + blocked_ticks)
+            ~tag:ev_probe ~a:id ~b:armed ()
+        end
+        else begin
+          t.detection_passes <- t.detection_passes + 1;
+          t.detect_calls <- t.detect_calls + 1;
+          let t0 =
+            match t.cfg.clock with Some clk -> clk () | None -> 0.0
+          in
+          let found = resolve_probe t id in
+          (match t.cfg.clock with
+          | Some clk -> t.detect_seconds <- t.detect_seconds +. clk () -. t0
+          | None -> ());
+          if found then begin
+            t.lazy_false.(id) <- 0;
+            (* resolution may have left [id] blocked (it survived as a
+               non-victim): watch the still-running wait with a fresh
+               timer *)
+            let since' = t.blocked_since.(id) in
+            if since' >= 0 && Waits_for.is_blocked t.wfg id then
+              Pqueue.push t.events
+                ~priority:(t.tick + blocked_ticks)
+                ~tag:ev_probe ~a:id ~b:since' ()
+          end
+          else begin
+            (* false alarm: the slice is acyclic, the wait is legitimate
+               — double this transaction's next probe delay *)
+            let n = t.lazy_false.(id) in
+            t.lazy_false.(id) <- n + 1;
+            Pqueue.push t.events
+              ~priority:(t.tick + (blocked_ticks * (1 lsl min n backoff)))
+              ~tag:ev_probe ~a:id ~b:armed ()
+          end
+        end
+      else
+        (* the wait this probe was armed for ended; a later block armed
+           its own probe *)
+        ()
+  | Detection_policy.Eager | Detection_policy.Periodic _
+  | Detection_policy.Adaptive ->
+      ()
+
+let handle_watchdog t =
+  (* the liveness net: a transaction blocked past the policy's stall
+     bound with no full sweep since it blocked means passes were lost
+     (outage, backed-off probes) — force one. Self-perpetuating at half
+     the bound, so a stall is caught within 1.5x the bound of arising. *)
+  let bound = Detection_policy.stall_bound t.cfg.detection in
+  if in_detector_outage t then
+    (* suppressed like any detection while the detector is down; re-armed
+       for the first healthy tick so recovery sweeps promptly *)
+    Pqueue.push t.events ~priority:(outage_end t) ~tag:ev_watchdog ()
+  else begin
+    (* ascending-id scan over tracked blocks, stopping at the first
+       stalled transaction — the short-circuit the sorted fold had *)
+    let rec scan id =
+      id < t.next_id
+      &&
+      let since = t.blocked_since.(id) in
+      (since >= 0
+       && t.tick - since >= bound
+       && t.last_detect_tick <= since
+       && Waits_for.is_blocked t.wfg id)
+      || scan (id + 1)
+    in
+    if scan 0 then begin
+      t.watchdog_fires <- t.watchdog_fires + 1;
+      Log.info (fun m ->
+          m "[%d] stall watchdog: forcing a full sweep" t.tick);
+      ignore (run_sweep t)
+    end;
+    Pqueue.push t.events
+      ~priority:(t.tick + max (bound / 2) 1)
+      ~tag:ev_watchdog ()
+  end
+
 let step t =
   if all_committed t then false
-  else
-    match Heap.pop t.events with
-    | None ->
-        (* Live transactions with an empty event queue means a wakeup was
-           lost — always a bug, never a valid quiescent state (an acyclic
-           waits-for graph has a runnable transaction, and runnable
-           transactions hold events). *)
-        raise (Stuck "event queue drained with live transactions")
-    | Some (tick, ev) ->
-        if tick > t.cfg.max_ticks then false
-        else begin
-          t.tick <- max t.tick tick;
-          (match ev with
-          | Exec id -> exec_one t id
-          | Crash_txn selector -> crash_transaction t selector
-          | Timer id -> (
-              (* a Timeout_abort timer: restart the waiter if it is still
-                 stuck on the same wait *)
-              let n =
-                match t.cfg.intervention with
-                | Timeout_abort n -> n
-                | Detect | Wound_wait_c | Wait_die_c -> max_int
-              in
-              match Hashtbl.find_opt t.blocked_since id with
-              | Some since when Waits_for.is_blocked t.wfg id ->
-                  if since + n <= t.tick then begin
-                    t.timeout_events <- t.timeout_events + 1;
-                    Log.info (fun m -> m "[%d] T%d timed out; restarting" t.tick id);
-                    self_restart t id
-                  end
-                  else Heap.push t.events ~priority:(since + n) ev
-              | Some _ | None -> ())
-          | Detect_tick -> (
-              (* the sweep chain: run (or miss, during an outage) a full
-                 pass and reschedule — self-perpetuating so deadlocked
-                 configurations always have a pending wake source *)
-              match t.cfg.detection with
-              | Detection_policy.Periodic n ->
-                  if in_detector_outage t then
-                    t.missed_passes <- t.missed_passes + 1
-                  else ignore (run_sweep t);
-                  Heap.push t.events ~priority:(t.tick + n) Detect_tick
-              | Detection_policy.Adaptive ->
-                  (if in_detector_outage t then
-                     t.missed_passes <- t.missed_passes + 1
-                   else begin
-                     let found = run_sweep t in
-                     if found then begin
-                       (* deadlocks are arriving: halve the interval *)
-                       t.detect_interval <-
-                         max Detection_policy.adaptive_min
-                           (t.detect_interval / 2);
-                       t.quiet_passes <- 0
-                     end
-                     else begin
-                       t.quiet_passes <- t.quiet_passes + 1;
-                       if t.quiet_passes >= 2 then begin
-                         (* two consecutive empty sweeps: back off *)
-                         t.detect_interval <-
-                           min Detection_policy.adaptive_max
-                             (t.detect_interval * 2);
-                         t.quiet_passes <- 0
-                       end
-                     end
-                   end);
-                  Heap.push t.events ~priority:(t.tick + t.detect_interval)
-                    Detect_tick
-              | Detection_policy.Eager | Detection_policy.Lazy_on_timeout _ ->
-                  ())
-          | Probe (id, armed) -> (
-              match t.cfg.detection with
-              | Detection_policy.Lazy_on_timeout { blocked_ticks; backoff }
-                -> (
-                  match Hashtbl.find_opt t.blocked_since id with
-                  | Some since
-                    when since = armed && Waits_for.is_blocked t.wfg id ->
-                      if in_detector_outage t then begin
-                        (* detector down: the probe is lost; re-arm past
-                           the outage (the watchdog, re-armed at the
-                           outage end itself, checks first on recovery) *)
-                        t.missed_passes <- t.missed_passes + 1;
-                        Heap.push t.events
-                          ~priority:(outage_end t + blocked_ticks)
-                          (Probe (id, armed))
-                      end
-                      else begin
-                        t.detection_passes <- t.detection_passes + 1;
-                        t.detect_calls <- t.detect_calls + 1;
-                        let t0 =
-                          match t.cfg.clock with
-                          | Some clk -> clk ()
-                          | None -> 0.0
-                        in
-                        let found = resolve_probe t id in
-                        (match t.cfg.clock with
-                        | Some clk ->
-                            t.detect_seconds <-
-                              t.detect_seconds +. clk () -. t0
-                        | None -> ());
-                        if found then begin
-                          Hashtbl.remove t.lazy_false id;
-                          (* resolution may have left [id] blocked (it
-                             survived as a non-victim): watch the
-                             still-running wait with a fresh timer *)
-                          match Hashtbl.find_opt t.blocked_since id with
-                          | Some since' when Waits_for.is_blocked t.wfg id ->
-                              Heap.push t.events
-                                ~priority:(t.tick + blocked_ticks)
-                                (Probe (id, since'))
-                          | Some _ | None -> ()
-                        end
-                        else begin
-                          (* false alarm: the slice is acyclic, the wait
-                             is legitimate — double this transaction's
-                             next probe delay *)
-                          let n =
-                            Option.value ~default:0
-                              (Hashtbl.find_opt t.lazy_false id)
-                          in
-                          Hashtbl.replace t.lazy_false id (n + 1);
-                          Heap.push t.events
-                            ~priority:
-                              (t.tick + (blocked_ticks * (1 lsl min n backoff)))
-                            (Probe (id, armed))
-                        end
-                      end
-                  | Some _ | None ->
-                      (* the wait this probe was armed for ended; a later
-                         block armed its own probe *)
-                      ())
-              | Detection_policy.Eager | Detection_policy.Periodic _
-              | Detection_policy.Adaptive ->
-                  ())
-          | Watchdog ->
-              (* the liveness net: a transaction blocked past the policy's
-                 stall bound with no full sweep since it blocked means
-                 passes were lost (outage, backed-off probes) — force one.
-                 Self-perpetuating at half the bound, so a stall is caught
-                 within 1.5x the bound of arising. *)
-              let bound = Detection_policy.stall_bound t.cfg.detection in
-              if in_detector_outage t then
-                (* suppressed like any detection while the detector is
-                   down; re-armed for the first healthy tick so recovery
-                   sweeps promptly *)
-                Heap.push t.events ~priority:(outage_end t) Watchdog
-              else begin
-                let stalled =
-                  Util.fold_sorted Txn_id.compare
-                    (fun id since acc ->
-                      acc
-                      || t.tick - since >= bound
-                         && t.last_detect_tick <= since
-                         && Waits_for.is_blocked t.wfg id)
-                    t.blocked_since false
-                in
-                if stalled then begin
-                  t.watchdog_fires <- t.watchdog_fires + 1;
-                  Log.info (fun m ->
-                      m "[%d] stall watchdog: forcing a full sweep" t.tick);
-                  ignore (run_sweep t)
-                end;
-                Heap.push t.events
-                  ~priority:(t.tick + max (bound / 2) 1)
-                  Watchdog
-              end);
-          true
-        end
+  else if not (Pqueue.pop t.events) then
+    (* Live transactions with an empty event queue means a wakeup was
+       lost — always a bug, never a valid quiescent state (an acyclic
+       waits-for graph has a runnable transaction, and runnable
+       transactions hold events). *)
+    raise (Stuck "event queue drained with live transactions")
+  else begin
+    let tick = Pqueue.cur_prio t.events in
+    if tick > t.cfg.max_ticks then false
+    else begin
+      t.tick <- max t.tick tick;
+      let tag = Pqueue.cur_tag t.events in
+      let a = Pqueue.cur_a t.events in
+      let b = Pqueue.cur_b t.events in
+      if tag = ev_exec then exec_one t a
+      else if tag = ev_crash_txn then crash_transaction t a
+      else if tag = ev_timer then handle_timer t a
+      else if tag = ev_detect_tick then handle_detect_tick t
+      else if tag = ev_probe then handle_probe t a b
+      else handle_watchdog t;
+      true
+    end
+  end
 
 let run t =
   while step t do
@@ -1053,8 +1125,15 @@ type stats = {
 
 let set_deadlock_hook t hook = t.deadlock_hook <- Some hook
 
-let submit_tick t id = Hashtbl.find_opt t.submit_ticks id
-let commit_tick t id = Hashtbl.find_opt t.commit_ticks id
+let submit_tick t id =
+  if id >= 0 && id < t.next_id && t.submit_ticks.(id) >= 0 then
+    Some t.submit_ticks.(id)
+  else None
+
+let commit_tick t id =
+  if id >= 0 && id < t.next_id && t.commit_ticks.(id) >= 0 then
+    Some t.commit_ticks.(id)
+  else None
 
 let latency t id =
   match (submit_tick t id, commit_tick t id) with
@@ -1062,15 +1141,20 @@ let latency t id =
   | _ -> None
 
 let stats t =
-  (* One sorted pass accumulating all three per-transaction aggregates. *)
-  let ops_lost, ops_executed, peak_copies =
-    Util.fold_sorted Txn_id.compare
-      (fun _ ts (lost, execd, peak) ->
-        ( lost + Txn_state.ops_lost ts,
-          execd + Txn_state.total_executed ts,
-          max peak (Txn_state.peak_copies ts) ))
-      t.txns (0, 0, 0)
-  in
+  (* One ascending pass accumulating all three per-transaction
+     aggregates. *)
+  let ops_lost = ref 0 and ops_executed = ref 0 and peak_copies = ref 0 in
+  for id = 0 to t.next_id - 1 do
+    match t.txns.(id) with
+    | Some ts ->
+        ops_lost := !ops_lost + Txn_state.ops_lost ts;
+        ops_executed := !ops_executed + Txn_state.total_executed ts;
+        peak_copies := max !peak_copies (Txn_state.peak_copies ts)
+    | None -> ()
+  done;
+  let ops_lost = !ops_lost
+  and ops_executed = !ops_executed
+  and peak_copies = !peak_copies in
   {
     ticks = t.tick;
     commits = t.commits;
@@ -1095,9 +1179,11 @@ let stats t =
     max_blocked_ticks = t.max_blocked_ticks;
     total_blocked_ticks = t.total_blocked_ticks;
     max_txn_rollbacks =
-      Util.fold_sorted Txn_id.compare
-        (fun _ n acc -> max acc n)
-        t.rollback_counts 0;
+      (let m = ref 0 in
+       for id = 0 to t.next_id - 1 do
+         if t.rollback_counts.(id) > !m then m := t.rollback_counts.(id)
+       done;
+       !m);
   }
 
 let pp_stats ppf s =

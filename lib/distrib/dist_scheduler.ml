@@ -40,6 +40,9 @@ type config = {
   cycle_limit : int;
   restart_delay : int;
   faults : Fault.plan option;
+  clock : (unit -> float) option;
+      (** wall-clock source for the detection-cost accounting
+          ({!stats.detect_seconds}); [None] (default) records zero *)
 }
 
 (* The default victim policy differs from the centralised engine's:
@@ -63,6 +66,7 @@ let default_config =
     cycle_limit = 256;
     restart_delay = 0;
     faults = None;
+    clock = None;
   }
 
 exception Stuck of string
@@ -149,6 +153,10 @@ type t = {
   mutable starvation_fallbacks : int;
   mutable max_blocked_ticks : int;
   mutable total_blocked_ticks : int;
+  mutable detect_seconds : float;
+      (** wall time inside detection (local block-time checks and global
+          rounds), when the config supplies a clock *)
+  mutable detect_calls : int;
 }
 
 let default_site_of n_sites e =
@@ -217,6 +225,8 @@ let create ?site_of config store =
       starvation_fallbacks = 0;
       max_blocked_ticks = 0;
       total_blocked_ticks = 0;
+      detect_seconds = 0.0;
+      detect_calls = 0;
     }
   in
   (match config.detection with
@@ -624,6 +634,21 @@ let rec resolve_local t requester round =
     end
   end
 
+(* Block-time detection under the cost clock: the would-deadlock probe
+   plus any instant local resolution it triggers count as one detection
+   call, timed when the config supplies a clock. *)
+let local_check t id ~holders =
+  t.detect_calls <- t.detect_calls + 1;
+  match t.cfg.clock with
+  | None ->
+      if Waits_for.would_deadlock t.wfg ~waiter:id ~holders then
+        resolve_local t id 0
+  | Some clk ->
+      let t0 = clk () in
+      if Waits_for.would_deadlock t.wfg ~waiter:id ~holders then
+        resolve_local t id 0;
+      t.detect_seconds <- t.detect_seconds +. (clk () -. t0)
+
 let blocked_txns t =
   List.filter (fun id -> Waits_for.is_blocked t.wfg id) (Waits_for.txns t.wfg)
 
@@ -634,6 +659,8 @@ let blocked_txns t =
    cycles survive to the next round. *)
 let run_global_detection t =
   t.detection_rounds <- t.detection_rounds + 1;
+  t.detect_calls <- t.detect_calls + 1;
+  let t0 = match t.cfg.clock with Some clk -> clk () | None -> 0.0 in
   let cycle_visible =
     match t.faults with
     | None ->
@@ -671,7 +698,10 @@ let run_global_detection t =
           t requester cycles;
         fixpoint ()
   in
-  fixpoint ()
+  fixpoint ();
+  match t.cfg.clock with
+  | Some clk -> t.detect_seconds <- t.detect_seconds +. (clk () -. t0)
+  | None -> ()
 
 (* Detector outage: no global rounds run; long-blocked transactions are
    timeout-aborted instead (graceful degradation — cross-site cycles
@@ -934,9 +964,7 @@ let req_arrive t id mode e =
                   Hashtbl.replace t.blocked_since id t.tick;
                   match t.cfg.detection with
                   | Wound_wait -> wound_wait t id e holders
-                  | Local_then_global _ ->
-                      if Waits_for.would_deadlock t.wfg ~waiter:id ~holders
-                      then resolve_local t id 0)))
+                  | Local_then_global _ -> local_check t id ~holders)))
     | Some _ | None -> () (* the transaction moved on; stale request *)
 
 let req_timeout t id e =
@@ -1056,9 +1084,7 @@ let handle_lock_request t id mode e =
           Hashtbl.replace t.blocked_since id t.tick;
           match t.cfg.detection with
           | Wound_wait -> wound_wait t id e holders
-          | Local_then_global _ ->
-              if Waits_for.would_deadlock t.wfg ~waiter:id ~holders then
-                resolve_local t id 0))
+          | Local_then_global _ -> local_check t id ~holders))
 
 let handle_unlock t id =
   let ts = txn_state t id in
@@ -1179,6 +1205,10 @@ type stats = {
   max_blocked_ticks : int;
   total_blocked_ticks : int;
   max_txn_rollbacks : int;
+  detect_seconds : float;
+      (** wall time inside detection (block-time local checks plus global
+          rounds); 0 unless the config supplies a {!config.clock} *)
+  detect_calls : int;  (** detection invocations, local and global *)
 }
 
 let stats t =
@@ -1216,6 +1246,8 @@ let stats t =
       Util.fold_sorted Txn_id.compare
         (fun _ n acc -> max acc n)
         t.rollback_counts 0;
+    detect_seconds = t.detect_seconds;
+    detect_calls = t.detect_calls;
   }
 
 let pp_stats ppf s =

@@ -90,6 +90,11 @@ type config = {
   faults : Prb_fault.Fault.plan option;
       (** [None] (default) is the failure-free world; [Some plan] enables
           site crashes, message faults and detector outages *)
+  clock : (unit -> float) option;
+      (** wall-clock source for the detection-cost accounting
+          ({!stats.detect_seconds}); [None] (default) records zero.
+          Orthogonal to determinism: the clock only feeds the cost
+          counters, never control flow *)
 }
 
 val default_config : config
@@ -178,6 +183,10 @@ type stats = {
       (** rollbacks suffered by the worst-hit transaction — bounded by
           [starvation_limit] plus degraded-mode forced restarts whenever
           [starvation_fallbacks] is 0 *)
+  detect_seconds : float;
+      (** wall time inside detection (block-time local checks plus global
+          rounds); 0 unless the config supplies a {!config.clock} *)
+  detect_calls : int;  (** detection invocations, local and global *)
 }
 
 val stats : t -> stats

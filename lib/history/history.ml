@@ -129,40 +129,52 @@ let watermark t =
    from the per-entity indexes — the edges it would have contributed to
    future commits all point prefix -> future, which the prefix order
    already witnesses. *)
+let fold_one t txn ci =
+  List.iter
+    (fun iv ->
+      match Hashtbl.find_opt t.by_entity iv.entity with
+      | None -> ()
+      | Some l -> (
+          l := List.filter (fun b -> b.txn <> txn) !l;
+          match !l with
+          | [] -> Hashtbl.remove t.by_entity iv.entity
+          | _ -> ()))
+    ci.ci_intervals;
+  Digraph.remove_vertex t.graph txn;
+  Hashtbl.remove t.retained txn;
+  t.n_retained <- t.n_retained - List.length ci.ci_intervals;
+  t.folded_rev <- txn :: t.folded_rev;
+  t.n_folded <- t.n_folded + 1
+
+(* The retained ids are sorted once per call; each successful fold
+   restarts the scan from the front of the (shrinking) list, because
+   removing a vertex can zero the in-degree of a smaller retained id.
+   The fold sequence — always the smallest currently-foldable id — is
+   identical to re-sorting every round, without the per-round sort the
+   old loop paid on each commit. *)
 let fold_ready t =
   let w = watermark t in
   let foldable txn =
     match Hashtbl.find_opt t.retained txn with
-    | None -> false
+    | None -> None
     | Some ci ->
-        ci.ci_max_released < w && Digraph.in_degree t.graph txn = 0
+        if ci.ci_max_released < w && Digraph.in_degree t.graph txn = 0 then
+          Some ci
+        else None
   in
-  let rec loop () =
-    let candidates =
-      List.filter foldable (Prb_util.Util.sorted_keys Int.compare t.retained)
-    in
-    match candidates with
+  let ids = Prb_util.Util.sorted_keys Int.compare t.retained in
+  let rec scan = function
     | [] -> ()
-    | txn :: _ ->
-        let ci = Hashtbl.find t.retained txn in
-        List.iter
-          (fun iv ->
-            match Hashtbl.find_opt t.by_entity iv.entity with
-            | None -> ()
-            | Some l -> (
-                l := List.filter (fun b -> b.txn <> txn) !l;
-                match !l with
-                | [] -> Hashtbl.remove t.by_entity iv.entity
-                | _ -> ()))
-          ci.ci_intervals;
-        Digraph.remove_vertex t.graph txn;
-        Hashtbl.remove t.retained txn;
-        t.n_retained <- t.n_retained - List.length ci.ci_intervals;
-        t.folded_rev <- txn :: t.folded_rev;
-        t.n_folded <- t.n_folded + 1;
-        loop ()
+    | txn :: rest -> (
+        match foldable txn with
+        | Some ci ->
+            fold_one t txn ci;
+            (* folded ids answer [None] from now on, so restarting on the
+               original list re-picks the smallest foldable survivor *)
+            scan ids
+        | None -> scan rest)
   in
-  loop ()
+  scan ids
 
 let commit_txn t txn =
   match Hashtbl.find_opt t.live txn with

@@ -1,25 +1,49 @@
 module Lock_mode = Prb_txn.Lock_mode
 module Txn_id = Prb_txn.Txn_id
 module Entity = Prb_storage.Store.Entity
-module Util = Prb_util.Util
+module Interner = Prb_util.Dense.Interner
 
 type txn = Txn_id.t
 type entity = Prb_storage.Store.entity
 type mode = Lock_mode.t
 
-type entry = {
-  mutable holding : (txn * mode) list; (* unordered *)
-  mutable queue : (txn * mode) list; (* FIFO: head = oldest waiter *)
-}
+(* Dense representation: entities are interned to contiguous slot ids and
+   every per-entity / per-transaction map is a flat array indexed by that
+   id. Holder sets and FIFO queues live in per-slot packed int buffers
+   (txn * 2 lor mode bit), so the request/grant/release hot path touches
+   no hashtable but the interner's (one lookup per request) and allocates
+   nothing when a request is granted or an uncontended lock released.
+   Holder-set order is not observable through the API (every reader sorts
+   or tests membership), so holders use swap-remove; queues preserve FIFO
+   order with a sliding window. The previous hashtable-of-entries
+   implementation is retained verbatim as [Lock_table_ref] for the
+   differential tests. *)
+
+let bit_of_mode = function Lock_mode.Shared -> 0 | Lock_mode.Exclusive -> 1
+let mode_of_bit b = if b = 1 then Lock_mode.Exclusive else Lock_mode.Shared
+
+(* Shared/Shared is the only compatible pair, so two mode bits conflict
+   iff either is set. *)
+let bits_conflict a b = a lor b <> 0
 
 type t = {
   fair : bool;
-  entries : (entity, entry) Hashtbl.t;
-  wait_of : (txn, entity * mode) Hashtbl.t;
-  held_of : (txn, (entity, mode) Hashtbl.t) Hashtbl.t;
-      (* txn -> its held locks; the per-transaction index that makes
-         [held_by]/[release_all] O(locks held) instead of a scan over
-         every entry in the table *)
+  ids : Interner.t;
+  (* entity-slot-indexed *)
+  mutable live : bool array; (* mirrors presence in the old entry table *)
+  mutable hold_buf : int array array; (* packed (txn, mode); unordered *)
+  mutable hold_len : int array;
+  mutable q_buf : int array array; (* packed (txn, mode); FIFO window *)
+  mutable q_start : int array;
+  mutable q_len : int array;
+  (* txn-indexed *)
+  mutable wait_eid : int array; (* -1 = not waiting *)
+  mutable wait_mode : int array;
+  mutable held_buf : int array array; (* packed (eid, mode) *)
+  mutable held_len : int array;
+  mutable txn_cap : int;
+  mutable scratch : int array; (* blocker collection *)
+  mutable entries : int;
   mutable requests : int;
   mutable blocks : int;
   mutable upgrades : int;
@@ -28,9 +52,20 @@ type t = {
 let create ?(fair = true) () =
   {
     fair;
-    entries = Hashtbl.create 128;
-    wait_of = Hashtbl.create 32;
-    held_of = Hashtbl.create 32;
+    ids = Interner.create ~size_hint:128 ();
+    live = [||];
+    hold_buf = [||];
+    hold_len = [||];
+    q_buf = [||];
+    q_start = [||];
+    q_len = [||];
+    wait_eid = [||];
+    wait_mode = [||];
+    held_buf = [||];
+    held_len = [||];
+    txn_cap = 0;
+    scratch = [||];
+    entries = 0;
     requests = 0;
     blocks = 0;
     upgrades = 0;
@@ -38,97 +73,228 @@ let create ?(fair = true) () =
 
 let is_fair t = t.fair
 
-let entry t e =
-  match Hashtbl.find_opt t.entries e with
-  | Some entry -> entry
-  | None ->
-      let entry = { holding = []; queue = [] } in
-      Hashtbl.replace t.entries e entry;
-      entry
+let grow_int cap fill arr =
+  let narr = Array.make cap fill in
+  Array.blit arr 0 narr 0 (Array.length arr);
+  narr
 
-(* Entries whose holder set and queue both drained are dropped, so the
-   entry table tracks only contended-or-held entities instead of every
-   entity ever touched. *)
-let gc_entry t e entry =
-  if entry.holding = [] && entry.queue = [] then Hashtbl.remove t.entries e
+let grow_bufs cap arr =
+  let narr = Array.make cap [||] in
+  Array.blit arr 0 narr 0 (Array.length arr);
+  narr
 
-let index_grant t who e mode =
-  let held =
-    match Hashtbl.find_opt t.held_of who with
-    | Some h -> h
-    | None ->
-        let h = Hashtbl.create 8 in
-        Hashtbl.replace t.held_of who h;
-        h
+let ensure_eid t eid =
+  if eid >= Array.length t.live then begin
+    let cap = max 64 (max (eid + 1) (2 * Array.length t.live)) in
+    let nl = Array.make cap false in
+    Array.blit t.live 0 nl 0 (Array.length t.live);
+    t.live <- nl;
+    t.hold_buf <- grow_bufs cap t.hold_buf;
+    t.hold_len <- grow_int cap 0 t.hold_len;
+    t.q_buf <- grow_bufs cap t.q_buf;
+    t.q_start <- grow_int cap 0 t.q_start;
+    t.q_len <- grow_int cap 0 t.q_len
+  end
+
+let ensure_txn t who =
+  if who < 0 then invalid_arg "Lock_table: negative transaction id";
+  if who >= t.txn_cap then begin
+    let cap = max 64 (max (who + 1) (2 * t.txn_cap)) in
+    t.wait_eid <- grow_int cap (-1) t.wait_eid;
+    t.wait_mode <- grow_int cap 0 t.wait_mode;
+    t.held_buf <- grow_bufs cap t.held_buf;
+    t.held_len <- grow_int cap 0 t.held_len;
+    t.txn_cap <- cap
+  end
+
+(* Append a packed value to a per-slot buffer owned by [bufs.(i)]. *)
+let buf_push bufs lens i v =
+  let buf = bufs.(i) in
+  let n = lens.(i) in
+  let buf =
+    if n >= Array.length buf then begin
+      let nbuf = Array.make (max 4 (2 * Array.length buf)) 0 in
+      Array.blit buf 0 nbuf 0 n;
+      bufs.(i) <- nbuf;
+      nbuf
+    end
+    else buf
   in
-  Hashtbl.replace held e mode
+  buf.(n) <- v;
+  lens.(i) <- n + 1
 
-let index_release t who e =
-  match Hashtbl.find_opt t.held_of who with
-  | None -> ()
-  | Some held ->
-      Hashtbl.remove held e;
-      if Hashtbl.length held = 0 then Hashtbl.remove t.held_of who
+(* Index of [who] in the holder set of [eid], or -1. *)
+let find_holding t eid who =
+  let buf = t.hold_buf.(eid) in
+  let n = t.hold_len.(eid) in
+  let rec go i =
+    if i >= n then -1 else if buf.(i) lsr 1 = who then i else go (i + 1)
+  in
+  go 0
+
+let is_upgrade t eid who = find_holding t eid who >= 0
+
+(* All holders are [who] itself (conversion admissible): holders are
+   pairwise distinct, so this is "sole holder". *)
+let sole_holder t eid who = t.hold_len.(eid) = 1 && is_upgrade t eid who
+
+let has_conflicting_holder t eid who mode_bit =
+  let buf = t.hold_buf.(eid) in
+  let n = t.hold_len.(eid) in
+  let rec go i =
+    if i >= n then false
+    else
+      let p = buf.(i) in
+      (p lsr 1 <> who && bits_conflict (p land 1) mode_bit) || go (i + 1)
+  in
+  go 0
+
+let scratch_push t n v =
+  if n >= Array.length t.scratch then
+    t.scratch <- grow_int (max 16 (2 * Array.length t.scratch)) 0 t.scratch;
+  t.scratch.(n) <- v;
+  n + 1
+
+(* Whom would a request by [who] in [mode] wait for right now? Conflicting
+   holders, plus (fair discipline, non-upgrades only — a conversion waits
+   for the other holders alone) conflicting requests queued ahead of
+   [who]. Sorted, deduplicated. *)
+let current_blockers t eid who mode_bit =
+  let n = ref 0 in
+  let hbuf = t.hold_buf.(eid) in
+  for i = 0 to t.hold_len.(eid) - 1 do
+    let p = hbuf.(i) in
+    if p lsr 1 <> who && bits_conflict (p land 1) mode_bit then
+      n := scratch_push t !n (p lsr 1)
+  done;
+  if t.fair && not (is_upgrade t eid who) then begin
+    let qbuf = t.q_buf.(eid) in
+    let s = t.q_start.(eid) in
+    let stop = ref false in
+    let i = ref s in
+    while (not !stop) && !i < s + t.q_len.(eid) do
+      let p = qbuf.(!i) in
+      if p lsr 1 = who then stop := true
+      else begin
+        if bits_conflict (p land 1) mode_bit then
+          n := scratch_push t !n (p lsr 1);
+        incr i
+      end
+    done
+  end;
+  (* insertion sort + dedup on the scratch prefix; blocker sets are tiny *)
+  let a = t.scratch in
+  for i = 1 to !n - 1 do
+    let v = a.(i) in
+    let j = ref (i - 1) in
+    while !j >= 0 && a.(!j) > v do
+      a.(!j + 1) <- a.(!j);
+      decr j
+    done;
+    a.(!j + 1) <- v
+  done;
+  let rec build i prev acc =
+    if i < 0 then acc
+    else if i < !n - 1 && a.(i) = prev then build (i - 1) prev acc
+    else build (i - 1) a.(i) (a.(i) :: acc)
+  in
+  if !n = 0 then [] else build (!n - 1) min_int []
+
+let index_grant t who eid mode_bit =
+  let buf = t.held_buf.(who) in
+  let n = t.held_len.(who) in
+  let rec go i =
+    if i >= n then buf_push t.held_buf t.held_len who ((eid lsl 1) lor mode_bit)
+    else if buf.(i) lsr 1 = eid then buf.(i) <- (eid lsl 1) lor mode_bit
+    else go (i + 1)
+  in
+  go 0
+
+let index_release t who eid =
+  let buf = t.held_buf.(who) in
+  let n = t.held_len.(who) in
+  let rec go i =
+    if i >= n then ()
+    else if buf.(i) lsr 1 = eid then begin
+      buf.(i) <- buf.(n - 1);
+      t.held_len.(who) <- n - 1
+    end
+    else go (i + 1)
+  in
+  go 0
+
+let grant t eid who mode_bit =
+  let i = find_holding t eid who in
+  if i >= 0 then t.hold_buf.(eid).(i) <- (who lsl 1) lor mode_bit
+  else buf_push t.hold_buf t.hold_len eid ((who lsl 1) lor mode_bit);
+  index_grant t who eid mode_bit
+
+(* Entries whose holder set and queue both drained are dropped from the
+   live set, so [n_entries] tracks only contended-or-held entities. *)
+let gc_entry t eid =
+  if t.live.(eid) && t.hold_len.(eid) = 0 && t.q_len.(eid) = 0 then begin
+    t.live.(eid) <- false;
+    t.q_start.(eid) <- 0;
+    t.entries <- t.entries - 1
+  end
+
+let queue_push t eid who mode_bit =
+  let buf = t.q_buf.(eid) in
+  let s = t.q_start.(eid) in
+  let n = t.q_len.(eid) in
+  if s + n >= Array.length buf && s > 0 then begin
+    (* slide the FIFO window back to the base before growing *)
+    Array.blit buf s buf 0 n;
+    t.q_start.(eid) <- 0
+  end;
+  let s = t.q_start.(eid) in
+  if s + n >= Array.length buf then begin
+    let nbuf = Array.make (max 4 (2 * Array.length buf)) 0 in
+    Array.blit buf s nbuf 0 n;
+    t.q_buf.(eid) <- nbuf;
+    t.q_start.(eid) <- 0
+  end;
+  let s = t.q_start.(eid) in
+  t.q_buf.(eid).(s + n) <- (who lsl 1) lor mode_bit;
+  t.q_len.(eid) <- n + 1
+
+(* Remove the queued request at absolute position [p], preserving FIFO
+   order of the rest. *)
+let queue_remove_at t eid p =
+  let s = t.q_start.(eid) in
+  let n = t.q_len.(eid) in
+  if p = s then t.q_start.(eid) <- s + 1
+  else Array.blit t.q_buf.(eid) (p + 1) t.q_buf.(eid) p (s + n - p - 1);
+  t.q_len.(eid) <- n - 1
 
 type outcome = Granted | Blocked of txn list
 
-let conflicting_holders entry who mode =
-  List.filter_map
-    (fun (h, m) ->
-      if h <> who && not (Lock_mode.compatible m mode) then Some h else None)
-    entry.holding
-
-(* Queued requests ahead of [who] (the whole queue when [who] is absent)
-   that conflict with a request in [mode]. *)
-let conflicting_queued_ahead entry who mode =
-  let rec scan = function
-    | [] -> []
-    | (w, _) :: _ when w = who -> []
-    | (w, m) :: rest ->
-        if not (Lock_mode.compatible m mode) then w :: scan rest
-        else scan rest
-  in
-  scan entry.queue
-
-let is_upgrade entry who = List.mem_assoc who entry.holding
-
-(* Whom would a request by [who] in [mode] wait for right now? Upgrades
-   bypass queue fairness (a conversion waits only for the other
-   holders). *)
-let current_blockers t entry who mode =
-  let holders = conflicting_holders entry who mode in
-  let queued =
-    if t.fair && not (is_upgrade entry who) then
-      conflicting_queued_ahead entry who mode
-    else []
-  in
-  List.sort_uniq Txn_id.compare (holders @ queued)
-
-let grant t entry e who mode =
-  entry.holding <-
-    (who, mode) :: List.filter (fun (h, _) -> h <> who) entry.holding;
-  index_grant t who e mode
-
-let request t txn mode e =
-  if Hashtbl.mem t.wait_of txn then
+let request t who mode e =
+  ensure_txn t who;
+  if t.wait_eid.(who) >= 0 then
     invalid_arg "Lock_table.request: transaction is already waiting";
   t.requests <- t.requests + 1;
-  let entry = entry t e in
-  let held = List.assoc_opt txn entry.holding in
-  (match (held, mode) with
-  | Some Lock_mode.Exclusive, _ | Some Lock_mode.Shared, Lock_mode.Shared ->
-      invalid_arg "Lock_table.request: lock already held"
-  | Some Lock_mode.Shared, Lock_mode.Exclusive -> t.upgrades <- t.upgrades + 1
-  | None, _ -> ());
-  match current_blockers t entry txn mode with
-  | [] -> begin
-      grant t entry e txn mode;
+  let eid = Interner.intern t.ids e in
+  ensure_eid t eid;
+  if not t.live.(eid) then begin
+    t.live.(eid) <- true;
+    t.entries <- t.entries + 1
+  end;
+  let mode_bit = bit_of_mode mode in
+  let hi = find_holding t eid who in
+  (if hi >= 0 then
+     match (t.hold_buf.(eid).(hi) land 1, mode_bit) with
+     | 1, _ | 0, 0 -> invalid_arg "Lock_table.request: lock already held"
+     | _, _ -> t.upgrades <- t.upgrades + 1);
+  match current_blockers t eid who mode_bit with
+  | [] ->
+      grant t eid who mode_bit;
       Granted
-    end
   | blockers ->
       t.blocks <- t.blocks + 1;
-      entry.queue <- entry.queue @ [ (txn, mode) ];
-      Hashtbl.replace t.wait_of txn (e, mode);
+      queue_push t eid who mode_bit;
+      t.wait_eid.(who) <- eid;
+      t.wait_mode.(who) <- mode_bit;
       Blocked blockers
 
 (* Drain the queue after holders or the queue itself changed.
@@ -138,89 +304,131 @@ let request t txn mode e =
    and stop at the first waiter that still conflicts with the holders;
    under the availability discipline, every waiter compatible with the
    holders is granted regardless of position. *)
-let try_grants t e entry =
-  let granted = ref [] in
-  let grant_waiter (w, m) =
-    grant t entry e w m;
-    Hashtbl.remove t.wait_of w;
-    granted := (w, m) :: !granted
-  in
-  (* Pass 1: conversions. *)
-  let rec upgrades_pass () =
-    let convertible =
-      List.find_opt
-        (fun (w, _) ->
-          is_upgrade entry w && List.for_all (fun (h, _) -> h = w) entry.holding)
-        entry.queue
-    in
-    match convertible with
-    | Some (w, m) ->
-        entry.queue <- List.filter (fun (x, _) -> x <> w) entry.queue;
-        grant_waiter (w, m);
-        upgrades_pass ()
-    | None -> ()
-  in
-  upgrades_pass ();
-  if t.fair then begin
-    let rec fifo () =
-      match entry.queue with
-      | (w, m) :: rest when not (is_upgrade entry w) ->
-          if conflicting_holders entry w m = [] then begin
-            entry.queue <- rest;
-            grant_waiter (w, m);
-            fifo ()
-          end
-      | _ -> ()
-    in
-    fifo ()
+let try_grants t eid =
+  if t.q_len.(eid) = 0 then begin
+    gc_entry t eid;
+    []
   end
   else begin
-    let still = ref [] in
-    List.iter
-      (fun (w, m) ->
+    let granted = ref [] in
+    let grant_waiter who mode_bit =
+      grant t eid who mode_bit;
+      t.wait_eid.(who) <- -1;
+      granted := (who, mode_of_bit mode_bit) :: !granted
+    in
+    (* Pass 1: conversions. *)
+    let rec upgrades_pass () =
+      let s = t.q_start.(eid) in
+      let rec find p =
+        if p >= s + t.q_len.(eid) then -1
+        else if sole_holder t eid (t.q_buf.(eid).(p) lsr 1) then p
+        else find (p + 1)
+      in
+      let p = find s in
+      if p >= 0 then begin
+        let packed = t.q_buf.(eid).(p) in
+        queue_remove_at t eid p;
+        grant_waiter (packed lsr 1) (packed land 1);
+        upgrades_pass ()
+      end
+    in
+    upgrades_pass ();
+    if t.fair then begin
+      let continue = ref true in
+      while !continue && t.q_len.(eid) > 0 do
+        let packed = t.q_buf.(eid).(t.q_start.(eid)) in
+        let w = packed lsr 1 in
+        if
+          (not (is_upgrade t eid w))
+          && not (has_conflicting_holder t eid w (packed land 1))
+        then begin
+          queue_remove_at t eid t.q_start.(eid);
+          grant_waiter w (packed land 1)
+        end
+        else continue := false
+      done
+    end
+    else begin
+      (* Grants mutate the holder set as the scan proceeds, exactly like
+         the list version; survivors compact to the buffer base. *)
+      let buf = t.q_buf.(eid) in
+      let s = t.q_start.(eid) in
+      let n = t.q_len.(eid) in
+      let kept = ref 0 in
+      for p = s to s + n - 1 do
+        let packed = buf.(p) in
+        let w = packed lsr 1 in
         let ok =
-          if is_upgrade entry w then
-            List.for_all (fun (h, _) -> h = w) entry.holding
-          else conflicting_holders entry w m = []
+          if is_upgrade t eid w then sole_holder t eid w
+          else not (has_conflicting_holder t eid w (packed land 1))
         in
-        if ok then grant_waiter (w, m) else still := (w, m) :: !still)
-      entry.queue;
-    entry.queue <- List.rev !still
-  end;
-  gc_entry t e entry;
-  List.rev !granted
+        if ok then grant_waiter w (packed land 1)
+        else begin
+          buf.(!kept) <- packed;
+          incr kept
+        end
+      done;
+      t.q_start.(eid) <- 0;
+      t.q_len.(eid) <- !kept
+    end;
+    gc_entry t eid;
+    List.rev !granted
+  end
 
-let release t txn e =
-  match Hashtbl.find_opt t.entries e with
-  | None -> invalid_arg "Lock_table.release: lock not held"
-  | Some entry ->
-      if not (List.mem_assoc txn entry.holding) then
-        invalid_arg "Lock_table.release: lock not held";
-      entry.holding <- List.filter (fun (h, _) -> h <> txn) entry.holding;
-      index_release t txn e;
-      try_grants t e entry
+let release t who e =
+  let fail () = invalid_arg "Lock_table.release: lock not held" in
+  match Interner.find_opt t.ids e with
+  | None -> fail ()
+  | Some eid ->
+      if eid >= Array.length t.live || not t.live.(eid) then fail ();
+      ensure_txn t who;
+      let i = find_holding t eid who in
+      if i < 0 then fail ();
+      let n = t.hold_len.(eid) in
+      t.hold_buf.(eid).(i) <- t.hold_buf.(eid).(n - 1);
+      t.hold_len.(eid) <- n - 1;
+      index_release t who eid;
+      try_grants t eid
 
-let cancel_wait t txn =
-  match Hashtbl.find_opt t.wait_of txn with
-  | None -> None
-  | Some (e, _) ->
-      Hashtbl.remove t.wait_of txn;
-      (match Hashtbl.find_opt t.entries e with
-      | Some entry ->
-          entry.queue <- List.filter (fun (w, _) -> w <> txn) entry.queue;
-          (* Removing a queued conflict may unblock those behind it. *)
-          Some (e, try_grants t e entry)
-      | None -> Some (e, []))
+let cancel_wait t who =
+  ensure_txn t who;
+  let eid = t.wait_eid.(who) in
+  if eid < 0 then None
+  else begin
+    t.wait_eid.(who) <- -1;
+    let e = Interner.name t.ids eid in
+    if not t.live.(eid) then Some (e, [])
+    else begin
+      let s = t.q_start.(eid) in
+      let rec find p =
+        if p >= s + t.q_len.(eid) then -1
+        else if t.q_buf.(eid).(p) lsr 1 = who then p
+        else find (p + 1)
+      in
+      let p = find s in
+      if p >= 0 then queue_remove_at t eid p;
+      (* Removing a queued conflict may unblock those behind it. *)
+      Some (e, try_grants t eid)
+    end
+  end
 
 let held_by t txn =
-  match Hashtbl.find_opt t.held_of txn with
-  | None -> []
-  | Some held -> Util.sorted_bindings Entity.compare held
+  if txn < 0 || txn >= t.txn_cap then []
+  else begin
+    let buf = t.held_buf.(txn) in
+    let rec collect i acc =
+      if i < 0 then acc
+      else
+        let p = buf.(i) in
+        collect (i - 1)
+          ((Interner.name t.ids (p lsr 1), mode_of_bit (p land 1)) :: acc)
+    in
+    List.sort
+      (fun (a, _) (b, _) -> Entity.compare a b)
+      (collect (t.held_len.(txn) - 1) [])
+  end
 
-let n_held t txn =
-  match Hashtbl.find_opt t.held_of txn with
-  | None -> 0
-  | Some held -> Hashtbl.length held
+let n_held t txn = if txn < 0 || txn >= t.txn_cap then 0 else t.held_len.(txn)
 
 let release_all t txn =
   let cancel_grants =
@@ -234,48 +442,87 @@ let release_all t txn =
       (held_by t txn)
 
 let holders t e =
-  match Hashtbl.find_opt t.entries e with
+  match Interner.find_opt t.ids e with
   | None -> []
-  | Some entry ->
-      (* holders are pairwise distinct, so keying the sort on the id alone
-         is a total order *)
-      List.sort (fun (a, _) (b, _) -> Txn_id.compare a b) entry.holding
+  | Some eid ->
+      if eid >= Array.length t.live then []
+      else begin
+        let buf = t.hold_buf.(eid) in
+        let rec collect i acc =
+          if i < 0 then acc
+          else
+            let p = buf.(i) in
+            collect (i - 1) ((p lsr 1, mode_of_bit (p land 1)) :: acc)
+        in
+        (* holders are pairwise distinct, so keying the sort on the id
+           alone is a total order *)
+        List.sort
+          (fun (a, _) (b, _) -> Txn_id.compare a b)
+          (collect (t.hold_len.(eid) - 1) [])
+      end
 
 let waiters t e =
-  match Hashtbl.find_opt t.entries e with None -> [] | Some entry -> entry.queue
+  match Interner.find_opt t.ids e with
+  | None -> []
+  | Some eid ->
+      if eid >= Array.length t.live then []
+      else begin
+        let buf = t.q_buf.(eid) in
+        let s = t.q_start.(eid) in
+        let rec collect i acc =
+          if i < s then acc
+          else
+            let p = buf.(i) in
+            collect (i - 1) ((p lsr 1, mode_of_bit (p land 1)) :: acc)
+        in
+        collect (s + t.q_len.(eid) - 1) []
+      end
 
 let has_waiters t e =
-  match Hashtbl.find_opt t.entries e with
+  match Interner.find_opt t.ids e with
   | None -> false
-  | Some entry -> entry.queue <> []
+  | Some eid -> eid < Array.length t.live && t.q_len.(eid) > 0
 
 let holds t txn e =
-  match Hashtbl.find_opt t.held_of txn with
-  | None -> None
-  | Some held -> Hashtbl.find_opt held e
+  if txn < 0 || txn >= t.txn_cap then None
+  else
+    match Interner.find_opt t.ids e with
+    | None -> None
+    | Some eid ->
+        let buf = t.held_buf.(txn) in
+        let n = t.held_len.(txn) in
+        let rec go i =
+          if i >= n then None
+          else if buf.(i) lsr 1 = eid then Some (mode_of_bit (buf.(i) land 1))
+          else go (i + 1)
+        in
+        go 0
 
-let waiting_for t txn = Hashtbl.find_opt t.wait_of txn
+let waiting_for t txn =
+  if txn < 0 || txn >= t.txn_cap || t.wait_eid.(txn) < 0 then None
+  else
+    Some (Interner.name t.ids t.wait_eid.(txn), mode_of_bit t.wait_mode.(txn))
 
 let blockers t txn =
-  match waiting_for t txn with
-  | None -> []
-  | Some (e, mode) -> (
-      match Hashtbl.find_opt t.entries e with
-      | None -> []
-      | Some entry -> current_blockers t entry txn mode)
+  if txn < 0 || txn >= t.txn_cap || t.wait_eid.(txn) < 0 then []
+  else current_blockers t t.wait_eid.(txn) txn t.wait_mode.(txn)
 
 type conflict_kind = No_conflict | Type1 | Type2
 
 let classify t txn mode e =
-  match Hashtbl.find_opt t.entries e with
+  match Interner.find_opt t.ids e with
   | None -> No_conflict
-  | Some entry -> (
-      match (conflicting_holders entry txn mode, mode) with
-      | [], _ -> No_conflict
-      | _ :: _, Lock_mode.Shared -> Type1
-      | _ :: _, Lock_mode.Exclusive -> Type2)
+  | Some eid ->
+      if
+        eid >= Array.length t.live
+        || not (has_conflicting_holder t eid txn (bit_of_mode mode))
+      then No_conflict
+      else
+        (match mode with
+        | Lock_mode.Shared -> Type1
+        | Lock_mode.Exclusive -> Type2)
 
 let n_requests t = t.requests
 let n_blocks t = t.blocks
 let n_upgrades t = t.upgrades
-let n_entries t = Hashtbl.length t.entries
+let n_entries t = t.entries

@@ -1,17 +1,22 @@
 module Value = Prb_storage.Value
 
-(* One retained version. The cell is mutable so that the write-coalescing
-   fast path (two writes in the same lock segment) updates the value in
-   place instead of re-allocating a cons and a pair per write — the MCS
-   hot path allocates nothing once a segment has its cell. *)
-type cell = { c_idx : int; mutable c_val : Value.t }
-
+(* Arena-backed representation: the retained versions live in a pair of
+   parallel growable arrays (lock indices / values), oldest at [start],
+   newest at [start + len - 1], indices strictly increasing. The
+   write-coalescing fast path (two writes in the same lock segment)
+   stores in place; appending past capacity first compacts the window to
+   the array base, then doubles — so a bounded-budget history reuses the
+   same buffers for its whole life, and a {!Pool} recycles those buffers
+   across histories (grant/release churn allocates nothing in steady
+   state). *)
 type t = {
-  budget : int;
-  created : int;
-  initial : Value.t;
-  mutable versions : cell list; (* newest first; lock indices strictly decreasing *)
-  mutable n_versions : int;
+  mutable budget : int;
+  mutable created : int;
+  mutable initial : Value.t;
+  mutable idxs : int array;
+  mutable vals : Value.t array;
+  mutable start : int;
+  mutable len : int;
   mutable damaged : (int * int) list; (* [lo, hi) ascending, disjoint, merged *)
   mutable peak : int;
 }
@@ -22,8 +27,10 @@ let create ~budget ~created_at ~initial =
     budget;
     created = created_at;
     initial;
-    versions = [];
-    n_versions = 0;
+    idxs = [||];
+    vals = [||];
+    start = 0;
+    len = 0;
     damaged = [];
     peak = 1;
   }
@@ -31,10 +38,10 @@ let create ~budget ~created_at ~initial =
 let created_at t = t.created
 
 let current t =
-  match t.versions with [] -> t.initial | c :: _ -> c.c_val
+  if t.len = 0 then t.initial else t.vals.(t.start + t.len - 1)
 
-let n_versions t = t.n_versions
-let n_copies t = t.n_versions + 1
+let n_versions t = t.len
+let n_copies t = t.len + 1
 let peak_copies t = t.peak
 
 let add_damage t lo hi =
@@ -64,35 +71,47 @@ let add_damage t lo hi =
 (* Evict the oldest retained version; the states it covered — from its own
    write index up to the next version's — become damaged. *)
 let evict_oldest t =
-  let rec split acc = function
-    | [] -> assert false
-    | [ last ] ->
-        let upper =
-          match acc with [] -> assert false | c :: _ -> c.c_idx
-        in
-        (List.rev acc, last.c_idx, upper)
-    | x :: rest -> split (x :: acc) rest
-  in
-  let kept, lo, hi = split [] t.versions in
-  t.versions <- kept;
-  t.n_versions <- t.n_versions - 1;
+  assert (t.len >= 2);
+  let lo = t.idxs.(t.start) and hi = t.idxs.(t.start + 1) in
+  t.start <- t.start + 1;
+  t.len <- t.len - 1;
   add_damage t lo hi
 
+let append t lock_index value =
+  let cap = Array.length t.idxs in
+  if t.start + t.len >= cap then begin
+    if t.start > 0 then begin
+      (* slide the window back to the base; buffers are reused in place *)
+      Array.blit t.idxs t.start t.idxs 0 t.len;
+      Array.blit t.vals t.start t.vals 0 t.len;
+      t.start <- 0
+    end;
+    if t.len >= Array.length t.idxs then begin
+      let ncap = max 4 (2 * Array.length t.idxs) in
+      let ni = Array.make ncap 0 in
+      let nv = Array.make ncap t.initial in
+      Array.blit t.idxs 0 ni 0 t.len;
+      Array.blit t.vals 0 nv 0 t.len;
+      t.idxs <- ni;
+      t.vals <- nv
+    end
+  end;
+  t.idxs.(t.start + t.len) <- lock_index;
+  t.vals.(t.start + t.len) <- value;
+  t.len <- t.len + 1
+
 let write t ~lock_index value =
-  (match t.versions with
-  | c :: _ when lock_index < c.c_idx ->
-      invalid_arg "History_stack.write: lock index went backwards"
-  | _ -> ());
-  (match t.versions with
-  | c :: _ when c.c_idx = lock_index ->
-      (* Same segment: only the final value of a segment is observable at
-         any lock state, so coalesce — in place, no allocation. *)
-      c.c_val <- value
-  | _ ->
-      t.versions <- { c_idx = lock_index; c_val = value } :: t.versions;
-      t.n_versions <- t.n_versions + 1;
-      if t.n_versions > t.budget then evict_oldest t);
-  if t.n_versions + 1 > t.peak then t.peak <- t.n_versions + 1
+  if t.len > 0 && lock_index < t.idxs.(t.start + t.len - 1) then
+    invalid_arg "History_stack.write: lock index went backwards";
+  if t.len > 0 && t.idxs.(t.start + t.len - 1) = lock_index then
+    (* Same segment: only the final value of a segment is observable at
+       any lock state, so coalesce — in place, no allocation. *)
+    t.vals.(t.start + t.len - 1) <- value
+  else begin
+    append t lock_index value;
+    if t.len > t.budget then evict_oldest t
+  end;
+  if t.len + 1 > t.peak then t.peak <- t.len + 1
 
 let damaged t = t.damaged
 
@@ -101,25 +120,24 @@ let is_restorable t q =
 
 let value_at t q =
   if not (is_restorable t q) then None
-  else
-    let rec newest_at = function
-      | [] -> t.initial
-      | c :: rest -> if c.c_idx <= q then c.c_val else newest_at rest
+  else begin
+    (* newest version written at or before [q], else the initial *)
+    let rec newest_at i =
+      if i < t.start then t.initial
+      else if t.idxs.(i) <= q then t.vals.(i)
+      else newest_at (i - 1)
     in
-    Some (newest_at t.versions)
+    Some (newest_at (t.start + t.len - 1))
+  end
 
 let truncate t q =
   if not (is_restorable t q) then
     invalid_arg "History_stack.truncate: target state is damaged";
-  (* Versions are newest-first with strictly decreasing indices: the
-     survivors are a suffix, shared as-is instead of rebuilt. *)
-  let rec drop n = function
-    | c :: rest when c.c_idx > q -> drop (n + 1) rest
-    | kept -> (n, kept)
-  in
-  let dropped, kept = drop 0 t.versions in
-  t.versions <- kept;
-  t.n_versions <- t.n_versions - dropped;
+  (* Indices are strictly increasing: the survivors are a prefix of the
+     window, kept in place. *)
+  while t.len > 0 && t.idxs.(t.start + t.len - 1) > q do
+    t.len <- t.len - 1
+  done;
   (* Damage intervals are ascending and disjoint, so those ending at or
      before [q] are a prefix. *)
   let rec keep = function
@@ -129,11 +147,57 @@ let truncate t q =
   t.damaged <- keep t.damaged
 
 let pp ppf t =
+  let versions =
+    let rec collect i acc =
+      if i < t.start then acc
+      else collect (i - 1) ((t.idxs.(i), t.vals.(i)) :: acc)
+    in
+    (* newest first, matching the original cons-list rendering *)
+    List.rev (collect (t.start + t.len - 1) [])
+  in
   Fmt.pf ppf "@[<h>history(created=%d, current=%a, versions=[%a], damaged=[%a])@]"
     t.created Value.pp (current t)
     Fmt.(
-      list ~sep:(any "; ") (fun ppf c ->
-          pf ppf "%d:%a" c.c_idx Value.pp c.c_val))
-    t.versions
+      list ~sep:(any "; ") (fun ppf (i, v) -> pf ppf "%d:%a" i Value.pp v))
+    versions
     Fmt.(list ~sep:(any "; ") (pair ~sep:(any ",") int int))
     t.damaged
+
+module Pool = struct
+  type stack = t
+
+  let create_stack = create
+
+  type t = { mutable free : stack list; mutable pooled : int }
+
+  let create () = { free = []; pooled = 0 }
+
+  let reset s ~budget ~created_at ~initial =
+    if budget < 1 then invalid_arg "History_stack.Pool.acquire: budget < 1";
+    s.budget <- budget;
+    s.created <- created_at;
+    s.initial <- initial;
+    s.start <- 0;
+    s.len <- 0;
+    s.damaged <- [];
+    s.peak <- 1;
+    (* Drop references to the previous owner's values so recycling never
+       retains (or leaks into observation — see the contamination test)
+       another history's data. *)
+    Array.fill s.vals 0 (Array.length s.vals) initial;
+    s
+
+  let acquire t ~budget ~created_at ~initial =
+    match t.free with
+    | s :: rest ->
+        t.free <- rest;
+        t.pooled <- t.pooled - 1;
+        reset s ~budget ~created_at ~initial
+    | [] -> create_stack ~budget ~created_at ~initial
+
+  let release t s =
+    t.free <- s :: t.free;
+    t.pooled <- t.pooled + 1
+
+  let n_pooled t = t.pooled
+end

@@ -1,0 +1,144 @@
+(* Reference implementation of [History_stack], retained verbatim from
+   the cons-list version so the qcheck differential properties in
+   test_rollback can assert the arena-backed rewrite is observationally
+   identical. Not used by any engine. *)
+
+module Value = Prb_storage.Value
+
+(* One retained version. The cell is mutable so that the write-coalescing
+   fast path (two writes in the same lock segment) updates the value in
+   place instead of re-allocating a cons and a pair per write — the MCS
+   hot path allocates nothing once a segment has its cell. *)
+type cell = { c_idx : int; mutable c_val : Value.t }
+
+type t = {
+  budget : int;
+  created : int;
+  initial : Value.t;
+  mutable versions : cell list; (* newest first; lock indices strictly decreasing *)
+  mutable n_versions : int;
+  mutable damaged : (int * int) list; (* [lo, hi) ascending, disjoint, merged *)
+  mutable peak : int;
+}
+
+let create ~budget ~created_at ~initial =
+  if budget < 1 then invalid_arg "History_stack.create: budget < 1";
+  {
+    budget;
+    created = created_at;
+    initial;
+    versions = [];
+    n_versions = 0;
+    damaged = [];
+    peak = 1;
+  }
+
+let created_at t = t.created
+
+let current t =
+  match t.versions with [] -> t.initial | c :: _ -> c.c_val
+
+let n_versions t = t.n_versions
+let n_copies t = t.n_versions + 1
+let peak_copies t = t.peak
+
+let add_damage t lo hi =
+  if lo < hi then begin
+    (* Insert and merge; the list stays short (one interval per eviction,
+       adjacent evictions merge). *)
+    let merged =
+      let rec insert = function
+        | [] -> [ (lo, hi) ]
+        | (a, b) :: rest ->
+            if hi < a then (lo, hi) :: (a, b) :: rest
+            else if b < lo then (a, b) :: insert rest
+            else
+              (* overlap or adjacency *)
+              insert_merged (min a lo) (max b hi) rest
+      and insert_merged a b = function
+        | [] -> [ (a, b) ]
+        | (c, d) :: rest ->
+            if b < c then (a, b) :: (c, d) :: rest
+            else insert_merged a (max b d) rest
+      in
+      insert t.damaged
+    in
+    t.damaged <- merged
+  end
+
+(* Evict the oldest retained version; the states it covered — from its own
+   write index up to the next version's — become damaged. *)
+let evict_oldest t =
+  let rec split acc = function
+    | [] -> assert false
+    | [ last ] ->
+        let upper =
+          match acc with [] -> assert false | c :: _ -> c.c_idx
+        in
+        (List.rev acc, last.c_idx, upper)
+    | x :: rest -> split (x :: acc) rest
+  in
+  let kept, lo, hi = split [] t.versions in
+  t.versions <- kept;
+  t.n_versions <- t.n_versions - 1;
+  add_damage t lo hi
+
+let write t ~lock_index value =
+  (match t.versions with
+  | c :: _ when lock_index < c.c_idx ->
+      invalid_arg "History_stack.write: lock index went backwards"
+  | _ -> ());
+  (match t.versions with
+  | c :: _ when c.c_idx = lock_index ->
+      (* Same segment: only the final value of a segment is observable at
+         any lock state, so coalesce — in place, no allocation. *)
+      c.c_val <- value
+  | _ ->
+      t.versions <- { c_idx = lock_index; c_val = value } :: t.versions;
+      t.n_versions <- t.n_versions + 1;
+      if t.n_versions > t.budget then evict_oldest t);
+  if t.n_versions + 1 > t.peak then t.peak <- t.n_versions + 1
+
+let damaged t = t.damaged
+
+let is_restorable t q =
+  not (List.exists (fun (lo, hi) -> lo <= q && q < hi) t.damaged)
+
+let value_at t q =
+  if not (is_restorable t q) then None
+  else
+    let rec newest_at = function
+      | [] -> t.initial
+      | c :: rest -> if c.c_idx <= q then c.c_val else newest_at rest
+    in
+    Some (newest_at t.versions)
+
+let truncate t q =
+  if not (is_restorable t q) then
+    invalid_arg "History_stack.truncate: target state is damaged";
+  (* Versions are newest-first with strictly decreasing indices: the
+     survivors are a suffix, shared as-is instead of rebuilt. *)
+  let rec drop n = function
+    | c :: rest when c.c_idx > q -> drop (n + 1) rest
+    | kept -> (n, kept)
+  in
+  let dropped, kept = drop 0 t.versions in
+  t.versions <- kept;
+  t.n_versions <- t.n_versions - dropped;
+  (* Damage intervals are ascending and disjoint, so those ending at or
+     before [q] are a prefix. *)
+  let rec keep = function
+    | (lo, hi) :: rest when hi <= q -> (lo, hi) :: keep rest
+    | _ -> []
+  in
+  t.damaged <- keep t.damaged
+
+let pp ppf t =
+  Fmt.pf ppf "@[<h>history(created=%d, current=%a, versions=[%a], damaged=[%a])@]"
+    t.created Value.pp (current t)
+    Fmt.(
+      list ~sep:(any "; ") (fun ppf c ->
+          pf ppf "%d:%a" c.c_idx Value.pp c.c_val))
+    t.versions
+    Fmt.(list ~sep:(any "; ") (pair ~sep:(any ",") int int))
+    t.damaged

@@ -1,4 +1,7 @@
-(** Per-object version history — the unified mechanism behind all four
+(** Reference implementation of {!History_stack} (the original cons-list
+    representation), retained for differential testing only.
+
+    Per-object version history — the unified mechanism behind all four
     rollback strategies.
 
     One history tracks one object: a global entity the transaction holds
@@ -70,28 +73,3 @@ val truncate : t -> int -> unit
     otherwise). After truncation {!current} equals the value at [L_q]. *)
 
 val pp : Format.formatter -> t -> unit
-
-(** Recycler for history buffers. Histories are created and dropped at
-    lock-grant/release frequency; routing them through a pool lets the
-    backing arrays be reused instead of re-allocated, which is where the
-    arena-backed representation wins its allocation budget. An acquired
-    stack is indistinguishable from a freshly created one (recycling
-    clears all previous state, including value references). *)
-module Pool : sig
-  type stack := t
-  type t
-
-  val create : unit -> t
-
-  val acquire :
-    t -> budget:int -> created_at:int -> initial:Prb_storage.Value.t -> stack
-  (** A stack observationally equal to
-      [create ~budget ~created_at ~initial], reusing a released stack's
-      buffers when one is available.
-      @raise Invalid_argument if [budget < 1]. *)
-
-  val release : t -> stack -> unit
-  (** Return a stack to the pool. The caller must not use it afterwards. *)
-
-  val n_pooled : t -> int
-end

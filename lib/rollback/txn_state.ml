@@ -23,7 +23,12 @@ type t = {
   strategy : Strategy.t;
   store : Store.t;
   budget : int;
-  copy_allocation : string -> int;
+  copy_alloc : (string -> int) option;
+      (* [None] skips the per-object key construction entirely — the
+         common case; the keys only exist for non-uniform allocation *)
+  pool : History_stack.Pool.t option;
+  n_locks : int; (* Program.n_locks, cached off the per-write path *)
+  env_fun : var -> Value.t; (* one closure over [locals] for Expr.eval *)
   mutable pc : int;
   mutable lock_idx : int;
   mutable phase : phase;
@@ -41,7 +46,22 @@ type t = {
          re-summing every history on every step. *)
 }
 
-let create ?(copy_allocation = fun _ -> 0) ~strategy ~id ~store program =
+let object_budget budget copy_alloc prefix name =
+  if budget = max_int then budget
+  else
+    match copy_alloc with
+    | None -> budget
+    | Some f -> budget + max 0 (f (prefix ^ name))
+
+let acquire_stack pool ~budget ~created_at ~initial =
+  match pool with
+  | Some p -> History_stack.Pool.acquire p ~budget ~created_at ~initial
+  | None -> History_stack.create ~budget ~created_at ~initial
+
+let recycle_stack pool h =
+  match pool with Some p -> History_stack.Pool.release p h | None -> ()
+
+let create ?copy_allocation ?pool ~strategy ~id ~store program =
   (match Program.validate program with
   | Ok () -> ()
   | Error ((i, v) :: _) ->
@@ -50,24 +70,29 @@ let create ?(copy_allocation = fun _ -> 0) ~strategy ~id ~store program =
            program.Program.name i Program.pp_violation v)
   | Error [] -> assert false);
   let budget = Strategy.version_budget strategy in
-  let object_budget key =
-    if budget = max_int then budget
-    else budget + max 0 (copy_allocation key)
-  in
   let locals = Hashtbl.create 8 in
   List.iter
     (fun (v, init) ->
       Hashtbl.replace locals v
-        (History_stack.create ~budget:(object_budget ("L:" ^ v)) ~created_at:0
-           ~initial:init))
+        (acquire_stack pool
+           ~budget:(object_budget budget copy_allocation "L:" v)
+           ~created_at:0 ~initial:init))
     program.Program.locals;
+  let env_fun v =
+    match Hashtbl.find_opt locals v with
+    | Some h -> History_stack.current h
+    | None -> raise Not_found
+  in
   {
     id;
     program;
     strategy;
     store;
     budget;
-    copy_allocation;
+    copy_alloc = copy_allocation;
+    pool;
+    n_locks = Program.n_locks program;
+    env_fun;
     pc = 0;
     lock_idx = 0;
     phase = Growing;
@@ -120,28 +145,32 @@ let note_copies t =
   if t.live_copies > t.peak_copies then t.peak_copies <- t.live_copies
 
 let lock_granted t =
-  (match next_action t with
-  | Need_lock (mode, e) ->
-      t.records <- { lr_entity = e; lr_mode = mode; lr_pc = t.pc } :: t.records;
-      if Lock_mode.equal mode Lock_mode.Exclusive then begin
-        let budget =
-          if t.budget = max_int then t.budget
-          else t.budget + max 0 (t.copy_allocation ("G:" ^ e))
-        in
-        (match Hashtbl.find_opt t.shadows e with
-        | Some old -> t.live_copies <- t.live_copies - History_stack.n_copies old
-        | None -> ());
-        Hashtbl.replace t.shadows e
-          (History_stack.create ~budget ~created_at:t.lock_idx
-             ~initial:(Store.get t.store e));
-        t.live_copies <- t.live_copies + 1
-      end;
-      t.lock_idx <- t.lock_idx + 1;
-      t.pc <- t.pc + 1;
-      t.total_executed <- t.total_executed + 1;
-      note_copies t
-  | Need_unlock _ | Data_step | At_end ->
-      invalid_arg "Txn_state.lock_granted: current op is not a lock request")
+  (if finished t then
+     invalid_arg "Txn_state.lock_granted: current op is not a lock request"
+   else
+     match t.program.Program.ops.(t.pc) with
+     | Program.Lock (mode, e) ->
+         t.records <-
+           { lr_entity = e; lr_mode = mode; lr_pc = t.pc } :: t.records;
+         if Lock_mode.equal mode Lock_mode.Exclusive then begin
+           let budget = object_budget t.budget t.copy_alloc "G:" e in
+           (match Hashtbl.find_opt t.shadows e with
+           | Some old ->
+               t.live_copies <- t.live_copies - History_stack.n_copies old;
+               recycle_stack t.pool old
+           | None -> ());
+           Hashtbl.replace t.shadows e
+             (acquire_stack t.pool ~budget ~created_at:t.lock_idx
+                ~initial:(Store.get t.store e));
+           t.live_copies <- t.live_copies + 1
+         end;
+         t.lock_idx <- t.lock_idx + 1;
+         t.pc <- t.pc + 1;
+         t.total_executed <- t.total_executed + 1
+     | Program.Unlock _ | Program.Read _ | Program.Write _ | Program.Assign _
+       ->
+         invalid_arg "Txn_state.lock_granted: current op is not a lock request");
+  note_copies t
 
 let local_history t v =
   match Hashtbl.find_opt t.locals v with
@@ -149,8 +178,6 @@ let local_history t v =
   | None -> raise Not_found
 
 let local_value t v = History_stack.current (local_history t v)
-
-let env t v = local_value t v
 
 let holds_record t e =
   List.find_opt (fun r -> String.equal r.lr_entity e) t.records
@@ -166,8 +193,6 @@ let read_view t e =
       | Some Lock_mode.Exclusive -> assert false (* shadow must exist *)
       | None -> raise Not_found)
 
-let n_program_locks t = Program.n_locks t.program
-
 (* A write may add a version, coalesce in place, or trade a new version
    against an eviction; charge whatever the history's copy count actually
    did. *)
@@ -178,55 +203,63 @@ let counted_write t h value =
 
 let write_local t v value =
   counted_write t (local_history t v) value;
-  if t.lock_idx < n_program_locks t then
-    t.monitored_writes <- t.monitored_writes + 1
+  if t.lock_idx < t.n_locks then t.monitored_writes <- t.monitored_writes + 1
 
 let write_entity t e value =
   match Hashtbl.find_opt t.shadows e with
   | Some h ->
       counted_write t h value;
-      if t.lock_idx < n_program_locks t then
+      if t.lock_idx < t.n_locks then
         t.monitored_writes <- t.monitored_writes + 1
   | None -> invalid_arg "Txn_state: write to entity without exclusive shadow"
 
 let exec_data_op t =
-  (match next_action t with
-  | Data_step -> (
-      match t.program.Program.ops.(t.pc) with
-      | Program.Read (e, v) -> write_local t v (read_view t e)
-      | Program.Write (e, x) -> write_entity t e (Expr.eval (env t) x)
-      | Program.Assign (v, x) -> write_local t v (Expr.eval (env t) x)
-      | Program.Lock _ | Program.Unlock _ -> assert false)
-  | Need_lock _ | Need_unlock _ | At_end ->
-      invalid_arg "Txn_state.exec_data_op: current op is not a data op");
+  (if finished t then
+     invalid_arg "Txn_state.exec_data_op: current op is not a data op"
+   else
+     match t.program.Program.ops.(t.pc) with
+     | Program.Read (e, v) -> write_local t v (read_view t e)
+     | Program.Write (e, x) -> write_entity t e (Expr.eval t.env_fun x)
+     | Program.Assign (v, x) -> write_local t v (Expr.eval t.env_fun x)
+     | Program.Lock _ | Program.Unlock _ ->
+         invalid_arg "Txn_state.exec_data_op: current op is not a data op");
   t.pc <- t.pc + 1;
   t.total_executed <- t.total_executed + 1;
   note_copies t
 
 let perform_unlock t =
-  match next_action t with
-  | Need_unlock e ->
-      let final =
-        match Hashtbl.find_opt t.shadows e with
-        | Some h ->
-            Hashtbl.remove t.shadows e;
-            t.live_copies <- t.live_copies - History_stack.n_copies h;
-            Some (History_stack.current h)
-        | None -> None
-      in
-      t.phase <- Shrinking;
-      t.pc <- t.pc + 1;
-      t.total_executed <- t.total_executed + 1;
-      (e, final)
-  | Need_lock _ | Data_step | At_end ->
-      invalid_arg "Txn_state.perform_unlock: current op is not an unlock"
+  let fail () =
+    invalid_arg "Txn_state.perform_unlock: current op is not an unlock"
+  in
+  if finished t then fail ()
+  else
+    match t.program.Program.ops.(t.pc) with
+    | Program.Unlock e ->
+        let final =
+          match Hashtbl.find_opt t.shadows e with
+          | Some h ->
+              Hashtbl.remove t.shadows e;
+              t.live_copies <- t.live_copies - History_stack.n_copies h;
+              let v = History_stack.current h in
+              recycle_stack t.pool h;
+              Some v
+          | None -> None
+        in
+        t.phase <- Shrinking;
+        t.pc <- t.pc + 1;
+        t.total_executed <- t.total_executed + 1;
+        (e, final)
+    | Program.Lock _ | Program.Read _ | Program.Write _ | Program.Assign _ ->
+        fail ()
 
 let commit t =
   if not (finished t) then invalid_arg "Txn_state.commit: program not finished";
   let bindings = Util.sorted_bindings Entity.compare t.shadows in
   let finals = List.map (fun (e, h) -> (e, History_stack.current h)) bindings in
   List.iter
-    (fun (_, h) -> t.live_copies <- t.live_copies - History_stack.n_copies h)
+    (fun (_, h) ->
+      t.live_copies <- t.live_copies - History_stack.n_copies h;
+      recycle_stack t.pool h)
     bindings;
   Hashtbl.reset t.shadows;
   t.phase <- Committed;
@@ -293,15 +326,15 @@ let cost_of_target t q = t.pc - pc_at_lock_state t q
 let cost_to_release t e = cost_of_target t (rollback_target t e)
 
 let reset_locals t =
+  Util.iter_sorted String.compare
+    (fun _ h -> recycle_stack t.pool h)
+    t.locals;
   Hashtbl.reset t.locals;
   List.iter
     (fun (v, init) ->
-      let budget =
-        if t.budget = max_int then t.budget
-        else t.budget + max 0 (t.copy_allocation ("L:" ^ v))
-      in
+      let budget = object_budget t.budget t.copy_alloc "L:" v in
       Hashtbl.replace t.locals v
-        (History_stack.create ~budget ~created_at:0 ~initial:init))
+        (acquire_stack t.pool ~budget ~created_at:0 ~initial:init))
     t.program.Program.locals
 
 let rollback_to t target =
@@ -318,6 +351,9 @@ let rollback_to t target =
       (* Full restart: locals are rebuilt from declared initials and the
          whole program, pre-lock prefix included, re-executes. *)
       reset_locals t;
+      Util.iter_sorted Entity.compare
+        (fun _ h -> recycle_stack t.pool h)
+        t.shadows;
       Hashtbl.reset t.shadows;
       t.live_copies <- List.length t.program.Program.locals;
       t.records <- [];
@@ -342,7 +378,8 @@ let rollback_to t target =
           match Hashtbl.find_opt t.shadows r.lr_entity with
           | Some h ->
               t.live_copies <- t.live_copies - History_stack.n_copies h;
-              Hashtbl.remove t.shadows r.lr_entity
+              Hashtbl.remove t.shadows r.lr_entity;
+              recycle_stack t.pool h
           | None -> ())
         undone;
       let counted_truncate _ h =
@@ -365,6 +402,20 @@ let rollback_to t target =
   t.rollbacks <- t.rollbacks + 1;
   t.ops_lost <- t.ops_lost + (old_pc - t.pc);
   released
+
+(* Hand every remaining history back to the pool when the scheduler
+   retires the transaction (after its accounting has been read). The
+   state must not be driven afterwards. *)
+let dispose t =
+  Util.iter_sorted String.compare
+    (fun _ h -> recycle_stack t.pool h)
+    t.locals;
+  Util.iter_sorted Entity.compare
+    (fun _ h -> recycle_stack t.pool h)
+    t.shadows;
+  Hashtbl.reset t.locals;
+  Hashtbl.reset t.shadows;
+  t.live_copies <- 0
 
 let total_executed t = t.total_executed
 let n_rollbacks t = t.rollbacks

@@ -23,6 +23,7 @@ type var = Prb_txn.Expr.var
 
 val create :
   ?copy_allocation:(string -> int) ->
+  ?pool:History_stack.Pool.t ->
   strategy:Strategy.t ->
   id:int ->
   store:Prb_storage.Store.t ->
@@ -33,9 +34,16 @@ val create :
     {!Prb_txn.Program.write_profile}'s ["G:entity"] / ["L:local"];
     default none; ignored under [Mcs]'s unbounded budget) — the
     non-uniform storage allocation of the paper's closing question,
-    computed by {!Allocation}.
+    computed by {!Allocation}. [pool] recycles history-stack buffers
+    across histories and transactions (see {!History_stack.Pool});
+    schedulers share one pool across every transaction they run.
     @raise Invalid_argument when the program fails
     {!Prb_txn.Program.validate}. *)
+
+val dispose : t -> unit
+(** Return every remaining history buffer to the creation [pool] (no-op
+    without one). Call when retiring the transaction, after its
+    accounting has been read; the state must not be driven afterwards. *)
 
 val id : t -> int
 val program : t -> Prb_txn.Program.t

@@ -1,81 +1,428 @@
-module Digraph = Prb_graph.Digraph
 module Txn_id = Prb_txn.Txn_id
 
 type txn = Txn_id.t
 type entity = Prb_storage.Store.entity
 
+(* Dense representation: transaction ids index flat arrays directly.
+   Adjacency is kept in per-vertex sorted int buffers (ascending — the
+   same order [Iset] iteration gave the Digraph-backed version, so every
+   traversal visits neighbours identically and replay stays
+   byte-identical). The scheduler invariant that all out-edges of a
+   waiter carry one entity lets the (waiter, holder) -> entity label
+   table collapse to a single string per waiter. Detection queries
+   ([would_deadlock], the Tarjan census, cycle enumeration) run on
+   stamp-versioned scratch arrays owned by [t]: no per-call hashtables,
+   no allocation unless a cycle is actually reported. The Digraph-backed
+   implementation is retained verbatim as [Waits_for_ref] for the
+   differential tests. *)
 type t = {
-  graph : Digraph.t;
-  labels : (txn * txn, entity) Hashtbl.t; (* (waiter, holder) -> entity *)
+  mutable present : bool array;
+  mutable out_buf : int array array; (* holders of v, ascending *)
+  mutable out_len : int array;
+  mutable in_buf : int array array; (* waiters on v, ascending *)
+  mutable in_len : int array;
+  mutable label : string array; (* entity of v's out-edges; out_len > 0 *)
+  mutable cap : int;
+  (* stamp-versioned scratch: mark.(v) = current stamp <=> v in the set *)
+  mutable stamp : int;
+  mutable fwd_mark : int array;
+  mutable bwd_mark : int array;
+  mutable seen_mark : int array;
+  mutable on_path : bool array;
+  mutable stack : int array;
+  (* Tarjan scratch *)
+  mutable idx : int array; (* valid when seen_mark.(v) = stamp *)
+  mutable low : int array;
+  mutable on_stack : bool array;
 }
 
-let create () = { graph = Digraph.create (); labels = Hashtbl.create 64 }
+let create () =
+  {
+    present = [||];
+    out_buf = [||];
+    out_len = [||];
+    in_buf = [||];
+    in_len = [||];
+    label = [||];
+    cap = 0;
+    stamp = 0;
+    fwd_mark = [||];
+    bwd_mark = [||];
+    seen_mark = [||];
+    on_path = [||];
+    stack = [||];
+    idx = [||];
+    low = [||];
+    on_stack = [||];
+  }
 
-let add_txn t txn = Digraph.add_vertex t.graph txn
+let grow_int cap fill arr =
+  let narr = Array.make cap fill in
+  Array.blit arr 0 narr 0 (Array.length arr);
+  narr
 
-let remove_txn t txn =
-  List.iter
-    (fun h -> Hashtbl.remove t.labels (txn, h))
-    (Digraph.succ t.graph txn);
-  List.iter
-    (fun w -> Hashtbl.remove t.labels (w, txn))
-    (Digraph.pred t.graph txn);
-  Digraph.remove_vertex t.graph txn
+let ensure t v =
+  if v < 0 then invalid_arg "Waits_for: negative transaction id";
+  if v >= t.cap then begin
+    let cap = max 64 (max (v + 1) (2 * t.cap)) in
+    let nb = Array.make cap false in
+    Array.blit t.present 0 nb 0 t.cap;
+    t.present <- nb;
+    let bufs = Array.make cap [||] in
+    Array.blit t.out_buf 0 bufs 0 t.cap;
+    t.out_buf <- bufs;
+    let bufs = Array.make cap [||] in
+    Array.blit t.in_buf 0 bufs 0 t.cap;
+    t.in_buf <- bufs;
+    t.out_len <- grow_int cap 0 t.out_len;
+    t.in_len <- grow_int cap 0 t.in_len;
+    let nl = Array.make cap "" in
+    Array.blit t.label 0 nl 0 t.cap;
+    t.label <- nl;
+    t.fwd_mark <- grow_int cap 0 t.fwd_mark;
+    t.bwd_mark <- grow_int cap 0 t.bwd_mark;
+    t.seen_mark <- grow_int cap 0 t.seen_mark;
+    let nb = Array.make cap false in
+    Array.blit t.on_path 0 nb 0 t.cap;
+    t.on_path <- nb;
+    t.idx <- grow_int cap 0 t.idx;
+    t.low <- grow_int cap 0 t.low;
+    let nb = Array.make cap false in
+    Array.blit t.on_stack 0 nb 0 t.cap;
+    t.on_stack <- nb;
+    t.cap <- cap
+  end
 
-let clear_wait t txn =
-  List.iter
-    (fun h ->
-      Hashtbl.remove t.labels (txn, h);
-      Digraph.remove_edge t.graph txn h)
-    (Digraph.succ t.graph txn)
+(* Insert [v] into the ascending buffer at [i]; no-op when present. *)
+let sorted_insert bufs lens i v =
+  let buf = bufs.(i) in
+  let n = lens.(i) in
+  let rec pos p = if p < n && buf.(p) < v then pos (p + 1) else p in
+  let p = pos 0 in
+  if not (p < n && buf.(p) = v) then begin
+    let buf =
+      if n >= Array.length buf then begin
+        let nbuf = Array.make (max 4 (2 * Array.length buf)) 0 in
+        Array.blit buf 0 nbuf 0 n;
+        bufs.(i) <- nbuf;
+        nbuf
+      end
+      else buf
+    in
+    Array.blit buf p buf (p + 1) (n - p);
+    buf.(p) <- v;
+    lens.(i) <- n + 1
+  end
+
+let sorted_remove bufs lens i v =
+  let buf = bufs.(i) in
+  let n = lens.(i) in
+  let rec pos p = if p < n && buf.(p) < v then pos (p + 1) else p in
+  let p = pos 0 in
+  if p < n && buf.(p) = v then begin
+    Array.blit buf (p + 1) buf p (n - p - 1);
+    lens.(i) <- n - 1
+  end
+
+let add_txn t v =
+  ensure t v;
+  t.present.(v) <- true
+
+let clear_wait t v =
+  if v >= 0 && v < t.cap then begin
+    for i = 0 to t.out_len.(v) - 1 do
+      sorted_remove t.in_buf t.in_len t.out_buf.(v).(i) v
+    done;
+    t.out_len.(v) <- 0
+  end
+
+let remove_txn t v =
+  if v >= 0 && v < t.cap then begin
+    clear_wait t v;
+    for i = 0 to t.in_len.(v) - 1 do
+      sorted_remove t.out_buf t.out_len t.in_buf.(v).(i) v
+    done;
+    t.in_len.(v) <- 0;
+    t.present.(v) <- false
+  end
 
 let set_wait t ~waiter ~holders entity =
   if List.exists (Txn_id.equal waiter) holders then
     invalid_arg "Waits_for.set_wait: waiter among holders";
+  ensure t waiter;
   clear_wait t waiter;
+  t.present.(waiter) <- true;
   List.iter
     (fun h ->
-      Digraph.add_edge t.graph waiter h;
-      Hashtbl.replace t.labels (waiter, h) entity)
-    holders
+      ensure t h;
+      t.present.(h) <- true;
+      sorted_insert t.out_buf t.out_len waiter h;
+      sorted_insert t.in_buf t.in_len h waiter)
+    holders;
+  t.label.(waiter) <- entity
 
-let waits t txn =
-  List.map
-    (fun h -> (h, Hashtbl.find t.labels (txn, h)))
-    (Digraph.succ t.graph txn)
+let waits t v =
+  if v < 0 || v >= t.cap then []
+  else begin
+    let buf = t.out_buf.(v) in
+    let rec collect i acc =
+      if i < 0 then acc else collect (i - 1) ((buf.(i), t.label.(v)) :: acc)
+    in
+    collect (t.out_len.(v) - 1) []
+  end
 
-let waiting_on t txn =
-  List.map
-    (fun w -> (w, Hashtbl.find t.labels (w, txn)))
-    (Digraph.pred t.graph txn)
+let waiting_on t v =
+  if v < 0 || v >= t.cap then []
+  else begin
+    let buf = t.in_buf.(v) in
+    let rec collect i acc =
+      if i < 0 then acc
+      else collect (i - 1) ((buf.(i), t.label.(buf.(i))) :: acc)
+    in
+    collect (t.in_len.(v) - 1) []
+  end
 
-let is_blocked t txn = Digraph.out_degree t.graph txn > 0
+let is_blocked t v = v >= 0 && v < t.cap && t.out_len.(v) > 0
 
-let txns t = Digraph.vertices t.graph
+let txns t =
+  let rec collect v acc =
+    if v < 0 then acc
+    else collect (v - 1) (if t.present.(v) then v :: acc else acc)
+  in
+  collect (t.cap - 1) []
 
 let edges t =
-  List.map
-    (fun (w, h) -> (w, h, Hashtbl.find t.labels (w, h)))
-    (Digraph.edges t.graph)
+  (* waiters ascending, holders ascending within each: lexicographic *)
+  List.concat_map
+    (fun w ->
+      List.map (fun (h, e) -> (w, h, e)) (waits t w))
+    (txns t)
 
+let next_stamp t =
+  t.stamp <- t.stamp + 1;
+  t.stamp
+
+let stack_push t n v =
+  if n >= Array.length t.stack then
+    t.stack <- grow_int (max 64 (2 * Array.length t.stack)) 0 t.stack;
+  t.stack.(n) <- v;
+  n + 1
+
+exception Found
+
+(* multi-source early-exit DFS from the holders along waits-for edges;
+   only set membership matters, so the stamped scratch serves as the
+   visited set and nothing is allocated *)
 let would_deadlock t ~waiter ~holders =
-  List.exists (Txn_id.equal waiter) holders
-  || Digraph.path_exists_from_any t.graph holders waiter
+  if List.exists (Txn_id.equal waiter) holders then true
+  else begin
+  let stamp = next_stamp t in
+  let top = ref 0 in
+  let expand v =
+    if v >= 0 && v < t.cap then begin
+      let buf = t.out_buf.(v) in
+      for i = 0 to t.out_len.(v) - 1 do
+        let w = buf.(i) in
+        if w = waiter then raise Found
+        else if t.seen_mark.(w) <> stamp then begin
+          t.seen_mark.(w) <- stamp;
+          top := stack_push t !top w
+        end
+      done
+    end
+  in
+  try
+    List.iter expand holders;
+    while !top > 0 do
+      decr top;
+      expand t.stack.(!top)
+    done;
+    false
+  with Found -> true
+  end
 
-let cycles_through ?limit t txn = Digraph.cycles_through ?limit t.graph txn
+(* Mark every vertex reachable from [v] along [buf]/[len] edges with
+   [stamp] in [mark]. [v] itself is marked only if re-reached — exactly
+   the Digraph [reach_set] convention ([root] marked forward <=> root on
+   a cycle). *)
+let reach t mark buf len stamp v =
+  let top = ref 0 in
+  let expand v =
+    let b = buf.(v) in
+    for i = 0 to len.(v) - 1 do
+      let w = b.(i) in
+      if mark.(w) <> stamp then begin
+        mark.(w) <- stamp;
+        top := stack_push t !top w
+      end
+    done
+  in
+  expand v;
+  while !top > 0 do
+    decr top;
+    expand t.stack.(!top)
+  done
 
-let on_cycle_from t seeds = Digraph.cyclic_vertices_from t.graph seeds
+let cycles_through ?(limit = 10_000) t root =
+  if root < 0 || root >= t.cap || not t.present.(root) then []
+  else begin
+    (* Every simple cycle through [root] lies inside [root]'s strongly
+       connected component, so restrict the search to vertices that both
+       are reachable from the root and reach it. The [budget] caps edge
+       traversals — even within an SCC the simple-path space can be
+       exponential. Truncation is safe for deadlock resolution: breaking
+       the reported cycles and re-enumerating reaches the rest. *)
+    let stamp = next_stamp t in
+    reach t t.fwd_mark t.out_buf t.out_len stamp root;
+    reach t t.bwd_mark t.in_buf t.in_len stamp root;
+    let in_scc v = t.fwd_mark.(v) = stamp && t.bwd_mark.(v) = stamp in
+    if t.fwd_mark.(root) <> stamp then [] (* root is on no cycle at all *)
+    else begin
+      let budget = 200 * (limit + 50) in
+      let cycles = ref [] in
+      let count = ref 0 in
+      let steps = ref 0 in
+      let path = ref [||] in
+      let plen = ref 0 in
+      let path_push v =
+        if !plen >= Array.length !path then
+          path := grow_int (max 16 (2 * Array.length !path)) 0 !path;
+        !path.(!plen) <- v;
+        incr plen
+      in
+      let record () =
+        let rec build i acc =
+          if i < 0 then acc else build (i - 1) (!path.(i) :: acc)
+        in
+        cycles := build (!plen - 1) [] :: !cycles;
+        incr count
+      in
+      let exhausted () = !count >= limit || !steps >= budget in
+      let rec dfs v =
+        if not (exhausted ()) then begin
+          let buf = t.out_buf.(v) in
+          for i = 0 to t.out_len.(v) - 1 do
+            let w = buf.(i) in
+            incr steps;
+            if not (exhausted ()) then
+              if w = root then record ()
+              else if in_scc w && not t.on_path.(w) then begin
+                t.on_path.(w) <- true;
+                path_push w;
+                dfs w;
+                decr plen;
+                t.on_path.(w) <- false
+              end
+          done
+        end
+      in
+      t.on_path.(root) <- true;
+      path_push root;
+      dfs root;
+      t.on_path.(root) <- false;
+      List.rev !cycles
+    end
+  end
 
-let is_exclusive_forest t = Digraph.is_forest_inverted t.graph
+let mem_edge t u v =
+  let buf = t.out_buf.(u) in
+  let rec go i = i < t.out_len.(u) && (buf.(i) = v || go (i + 1)) in
+  go 0
+
+(* Tarjan restricted to the subgraph reachable from the seeds; the
+   output is the ascending list of vertices in non-trivial SCCs (or with
+   a self-loop, which [set_wait] actually forbids). Only membership is
+   observable, so the visit order is free as long as neighbour iteration
+   stays ascending. *)
+let on_cycle_from t seeds =
+  let stamp = next_stamp t in
+  let counter = ref 0 in
+  let sstack = ref [] in
+  let cyclic = ref [] in
+  let rec strongconnect v =
+    t.seen_mark.(v) <- stamp;
+    t.idx.(v) <- !counter;
+    t.low.(v) <- !counter;
+    incr counter;
+    sstack := v :: !sstack;
+    t.on_stack.(v) <- true;
+    let buf = t.out_buf.(v) in
+    for i = 0 to t.out_len.(v) - 1 do
+      let w = buf.(i) in
+      if t.seen_mark.(w) <> stamp then begin
+        strongconnect w;
+        if t.low.(w) < t.low.(v) then t.low.(v) <- t.low.(w)
+      end
+      else if t.on_stack.(w) then
+        if t.idx.(w) < t.low.(v) then t.low.(v) <- t.idx.(w)
+    done;
+    if t.low.(v) = t.idx.(v) then begin
+      let rec pop acc =
+        match !sstack with
+        | [] -> acc
+        | w :: rest ->
+            sstack := rest;
+            t.on_stack.(w) <- false;
+            if w = v then w :: acc else pop (w :: acc)
+      in
+      match pop [] with
+      | [ u ] -> if mem_edge t u u then cyclic := u :: !cyclic
+      | comp -> cyclic := List.rev_append comp !cyclic
+    end
+  in
+  List.iter
+    (fun v ->
+      if
+        v >= 0 && v < t.cap && t.present.(v) && t.seen_mark.(v) <> stamp
+      then strongconnect v)
+    seeds;
+  List.sort_uniq Txn_id.compare !cyclic
+
+let has_cycle t =
+  (* stamped colouring: seen = visited, on_path = grey *)
+  let stamp = next_stamp t in
+  let exception Cycle in
+  let rec dfs v =
+    t.seen_mark.(v) <- stamp;
+    t.on_path.(v) <- true;
+    let buf = t.out_buf.(v) in
+    for i = 0 to t.out_len.(v) - 1 do
+      let w = buf.(i) in
+      if t.on_path.(w) then raise Cycle
+      else if t.seen_mark.(w) <> stamp then dfs w
+    done;
+    t.on_path.(v) <- false
+  in
+  let rec clear = function
+    | [] -> ()
+    | v :: rest ->
+        t.on_path.(v) <- false;
+        clear rest
+  in
+  let rec roots v =
+    if v >= t.cap then false
+    else if t.present.(v) && t.seen_mark.(v) <> stamp then
+      match dfs v with () -> roots (v + 1) | exception Cycle -> true
+    else roots (v + 1)
+  in
+  let found = roots 0 in
+  if found then clear (txns t);
+  found
+
+let is_exclusive_forest t =
+  let rec degrees v =
+    v >= t.cap || ((not t.present.(v)) || t.out_len.(v) <= 1) && degrees (v + 1)
+  in
+  degrees 0 && not (has_cycle t)
 
 let pp ppf t =
-  let es = edges t in
-  if es = [] then Fmt.string ppf "(no waits)"
-  else
-    Fmt.pf ppf "@[<v>%a@]"
-      Fmt.(
-        list ~sep:cut (fun ppf (w, h, e) -> pf ppf "T%d -%s-> T%d" w e h))
-      es
+  match edges t with
+  | [] -> Fmt.string ppf "(no waits)"
+  | es ->
+      Fmt.pf ppf "@[<v>%a@]"
+        Fmt.(
+          list ~sep:cut (fun ppf (w, h, e) -> pf ppf "T%d -%s-> T%d" w e h))
+        es
 
 let to_dot t =
   let buf = Buffer.create 256 in

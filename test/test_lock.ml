@@ -338,6 +338,85 @@ let qcheck_index_vs_reference fair =
           check_agreement ())
         script)
 
+(* --- qcheck: the dense (interned, packed-buffer) table vs the retained
+   hashtable-of-entries reference --- *)
+
+(* Lock_table_ref is the original representation kept verbatim for
+   differential testing. Both tables receive the identical random script
+   — requests (including upgrades), releases, cancels, release_all — and
+   must agree on every outcome (grant/block with the same blocker set,
+   waiters granted in the same order) and on every read-side accessor
+   after every step. *)
+let qcheck_dense_vs_reference fair =
+  let module Ref = Prb_lock.Lock_table_ref in
+  let name =
+    Printf.sprintf "dense table matches retained reference (%s)"
+      (if fair then "fair" else "availability")
+  in
+  let n_txns = 5 and n_entities = 3 in
+  QCheck.Test.make ~name ~count:200
+    QCheck.(
+      list
+        (triple (int_bound (n_txns - 1)) (int_bound 4)
+           (int_bound (n_entities - 1))))
+    (fun script ->
+      let t = Lock_table.create ~fair () in
+      let r = Ref.create ~fair () in
+      let entity i = Printf.sprintf "e%d" i in
+      let entities = List.init n_entities entity in
+      let txns = List.init n_txns Fun.id in
+      let outcomes_agree o o' =
+        match (o, o') with
+        | Lock_table.Granted, Ref.Granted -> true
+        | Lock_table.Blocked bs, Ref.Blocked bs' -> bs = bs'
+        | _ -> false
+      in
+      let agree () =
+        List.for_all
+          (fun txn ->
+            Lock_table.held_by t txn = Ref.held_by r txn
+            && Lock_table.n_held t txn = Ref.n_held r txn
+            && Lock_table.waiting_for t txn = Ref.waiting_for r txn
+            && Lock_table.blockers t txn = Ref.blockers r txn
+            && List.for_all
+                 (fun e -> Lock_table.holds t txn e = Ref.holds r txn e)
+                 entities)
+          txns
+        && List.for_all
+             (fun e ->
+               Lock_table.holders t e = Ref.holders r e
+               && Lock_table.waiters t e = Ref.waiters r e
+               && Lock_table.has_waiters t e = Ref.has_waiters r e)
+             entities
+        && Lock_table.n_entries t = Ref.n_entries r
+        && Lock_table.n_requests t = Ref.n_requests r
+        && Lock_table.n_blocks t = Ref.n_blocks r
+        && Lock_table.n_upgrades t = Ref.n_upgrades r
+      in
+      List.for_all
+        (fun (txn, op, ei) ->
+          let e = entity ei in
+          (match op with
+          | 0 | 1 -> (
+              let mode = if op = 0 then s else x in
+              (* skip scripts steps both tables would reject identically *)
+              match (Lock_table.waiting_for t txn, Lock_table.holds t txn e) with
+              | Some _, _ -> true
+              | _, Some m when m = Lock_mode.Exclusive || mode = Lock_mode.Shared
+                -> true
+              | None, _ ->
+                  outcomes_agree
+                    (Lock_table.request t txn mode e)
+                    (Ref.request r txn mode e))
+          | 2 ->
+              Lock_table.holds t txn e = None
+              || Lock_table.waiting_for t txn <> None
+              || Lock_table.release t txn e = Ref.release r txn e
+          | 3 -> Lock_table.cancel_wait t txn = Ref.cancel_wait r txn
+          | _ -> Lock_table.release_all t txn = Ref.release_all r txn)
+          && agree ())
+        script)
+
 let () =
   Alcotest.run "prb_lock"
     [
@@ -375,5 +454,7 @@ let () =
           QCheck_alcotest.to_alcotest (qcheck_no_conflicting_grants false);
           QCheck_alcotest.to_alcotest (qcheck_index_vs_reference true);
           QCheck_alcotest.to_alcotest (qcheck_index_vs_reference false);
+          QCheck_alcotest.to_alcotest (qcheck_dense_vs_reference true);
+          QCheck_alcotest.to_alcotest (qcheck_dense_vs_reference false);
         ] );
     ]

@@ -742,6 +742,68 @@ let qcheck_alloc_runtime_agreement =
       Txn_state.well_defined_states ts
       = Allocation.well_defined_with p ~allocation:(Allocation.lookup alloc))
 
+(* --- qcheck: the arena-backed stack vs the retained cons-list reference,
+   fresh and pool-recycled --- *)
+
+(* Drive an identical random lifetime — writes at nondecreasing lock
+   indexes interleaved with truncates — through the arena-backed
+   History_stack and through History_stack_ref (the original cons-list
+   representation kept verbatim), comparing every observable after every
+   step. [via_pool] runs the arena side through a warm Pool, so recycled
+   buffers must be indistinguishable from fresh ones. *)
+let qcheck_hs_dense_vs_reference via_pool =
+  let module R = Prb_rollback.History_stack_ref in
+  let name =
+    Printf.sprintf "arena stack matches cons-list reference (%s)"
+      (if via_pool then "pooled" else "fresh")
+  in
+  let pool = History_stack.Pool.create () in
+  QCheck.Test.make ~name ~count:300
+    QCheck.(pair (int_range 1 4) (small_list (pair bool (int_bound 8))))
+    (fun (budget, script) ->
+      let h =
+        if via_pool then
+          History_stack.Pool.acquire pool ~budget ~created_at:0
+            ~initial:(Value.int 0)
+        else History_stack.create ~budget ~created_at:0 ~initial:(Value.int 0)
+      in
+      let r = R.create ~budget ~created_at:0 ~initial:(Value.int 0) in
+      let agree () =
+        Value.equal (History_stack.current h) (R.current r)
+        && History_stack.n_versions h = R.n_versions r
+        && History_stack.n_copies h = R.n_copies r
+        && History_stack.peak_copies h = R.peak_copies r
+        && History_stack.damaged h = R.damaged r
+        && List.for_all
+             (fun q ->
+               History_stack.is_restorable h q = R.is_restorable r q
+               && History_stack.value_at h q = R.value_at r q)
+             (List.init 10 Fun.id)
+      in
+      let last = ref 0 in
+      let ok =
+        List.for_all
+          (fun (truncate, k) ->
+            (if truncate then begin
+               let q = min k !last in
+               if History_stack.is_restorable h q then begin
+                 History_stack.truncate h q;
+                 R.truncate r q;
+                 last := q
+               end
+             end
+             else begin
+               let li = max !last k in
+               History_stack.write h ~lock_index:li (Value.int (li * 10 + k));
+               R.write r ~lock_index:li (Value.int (li * 10 + k));
+               last := li
+             end);
+            agree ())
+          script
+      in
+      if via_pool then History_stack.Pool.release pool h;
+      ok)
+
 let () =
   Alcotest.run "prb_rollback"
     [
@@ -765,6 +827,8 @@ let () =
           Alcotest.test_case "peak copies" `Quick test_hs_peak_copies;
           Alcotest.test_case "backwards write" `Quick test_hs_backwards_write_rejected;
           QCheck_alcotest.to_alcotest qcheck_hs_agrees_with_unbounded;
+          QCheck_alcotest.to_alcotest (qcheck_hs_dense_vs_reference false);
+          QCheck_alcotest.to_alcotest (qcheck_hs_dense_vs_reference true);
         ] );
       ( "sdg_view",
         [

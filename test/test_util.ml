@@ -1,9 +1,10 @@
-(* Tests for Prb_util: rng, zipf, stats, heap, table. *)
+(* Tests for Prb_util: rng, zipf, stats, heap, dense, table. *)
 
 module Rng = Prb_util.Rng
 module Zipf = Prb_util.Zipf
 module Stats = Prb_util.Stats
 module Heap = Prb_util.Heap
+module Dense = Prb_util.Dense
 module Table = Prb_util.Table
 
 let check = Alcotest.check
@@ -256,6 +257,113 @@ let test_heap_qcheck_sorted_drain =
       in
       drain min_int)
 
+(* --- Dense --- *)
+
+let test_interner_contiguous () =
+  let it = Dense.Interner.create () in
+  checki "first" 0 (Dense.Interner.intern it "a");
+  checki "second" 1 (Dense.Interner.intern it "b");
+  checki "re-intern stable" 0 (Dense.Interner.intern it "a");
+  checki "third" 2 (Dense.Interner.intern it "c");
+  checki "count" 3 (Dense.Interner.count it);
+  check Alcotest.string "reverse" "b" (Dense.Interner.name it 1);
+  checkb "find existing" true (Dense.Interner.find_opt it "c" = Some 2);
+  checkb "find missing" true (Dense.Interner.find_opt it "z" = None)
+
+let test_slots_lifo_recycle () =
+  let s = Dense.Slots.create () in
+  let a = Dense.Slots.alloc s in
+  let b = Dense.Slots.alloc s in
+  Dense.Slots.release s a;
+  (* LIFO: the most recently released slot is reused first *)
+  checki "recycled" a (Dense.Slots.alloc s);
+  checkb "b still live" true (Dense.Slots.in_use s b);
+  checki "capacity" 2 (Dense.Slots.capacity s)
+
+let test_slots_stale_handle () =
+  let s = Dense.Slots.create () in
+  let a = Dense.Slots.alloc s in
+  let h = Dense.Slots.handle s a in
+  checkb "live handle valid" true (Dense.Slots.handle_valid s h);
+  Dense.Slots.release s a;
+  checkb "released handle invalid" false (Dense.Slots.handle_valid s h);
+  let a' = Dense.Slots.alloc s in
+  checki "slot recycled" a a';
+  (* the recycled incarnation gets a fresh handle; the old one stays dead *)
+  checkb "stale handle stays invalid" false (Dense.Slots.handle_valid s h);
+  checkb "new handle valid" true
+    (Dense.Slots.handle_valid s (Dense.Slots.handle s a'))
+
+(* qcheck: under random alloc/release traffic no two live slots alias,
+   counters stay consistent, and no stale handle ever validates — the
+   property the schedulers' dense id spaces rely on. *)
+let test_slots_qcheck_no_aliasing =
+  QCheck.Test.make ~name:"slots: live ids distinct, stale handles dead"
+    ~count:300
+    QCheck.(list (pair bool (int_bound 7)))
+    (fun script ->
+      let s = Dense.Slots.create () in
+      let live = ref [] (* slot ids, distinct *)
+      and dead_handles = ref [] in
+      List.iter
+        (fun (alloc, k) ->
+          if alloc || !live = [] then begin
+            let id = Dense.Slots.alloc s in
+            if List.mem id !live then failwith "alias: alloc returned live id";
+            live := id :: !live
+          end
+          else begin
+            let id = List.nth !live (k mod List.length !live) in
+            dead_handles := Dense.Slots.handle s id :: !dead_handles;
+            Dense.Slots.release s id;
+            live := List.filter (fun x -> x <> id) !live
+          end)
+        script;
+      List.for_all (fun id -> Dense.Slots.in_use s id) !live
+      && Dense.Slots.n_live s = List.length !live
+      && List.for_all
+           (fun h -> not (Dense.Slots.handle_valid s h))
+           !dead_handles)
+
+(* qcheck: Pqueue pops in exactly Heap's order — same priorities, same
+   tie-break by push sequence — so the scheduler's event loop is
+   order-identical on either queue. Pops are interleaved with pushes to
+   exercise ties created across drain boundaries. *)
+let test_pqueue_qcheck_matches_heap =
+  QCheck.Test.make ~name:"dense pqueue pops in Heap order" ~count:300
+    QCheck.(list (pair (option (int_bound 20)) (int_bound 1000)))
+    (fun script ->
+      let q = Dense.Pqueue.create () and h = Heap.create () in
+      let seq = ref 0 in
+      let pops_agree () =
+        match Heap.pop h with
+        | None -> not (Dense.Pqueue.pop q)
+        | Some (prio, (tag, a, b)) ->
+            Dense.Pqueue.pop q
+            && Dense.Pqueue.cur_prio q = prio
+            && Dense.Pqueue.cur_tag q = tag
+            && Dense.Pqueue.cur_a q = a
+            && Dense.Pqueue.cur_b q = b
+      in
+      List.for_all
+        (fun (pop, prio) ->
+          if pop = None then begin
+            let tag = !seq mod 6 and a = !seq - 500 and b = !seq * 3 in
+            incr seq;
+            Dense.Pqueue.push q ~priority:prio ~tag ~a ~b ();
+            Heap.push h ~priority:prio (tag, a, b);
+            Dense.Pqueue.size q = Heap.size h
+          end
+          else pops_agree ())
+        script
+      &&
+      (* drain the rest; the final iteration checks both report empty *)
+      let rec drain () =
+        if Heap.is_empty h then not (Dense.Pqueue.pop q)
+        else pops_agree () && drain ()
+      in
+      drain ())
+
 (* --- Table --- *)
 
 let contains haystack needle =
@@ -331,6 +439,14 @@ let () =
           Alcotest.test_case "interleaved" `Quick test_heap_interleaved;
           Alcotest.test_case "clear" `Quick test_heap_clear;
           QCheck_alcotest.to_alcotest test_heap_qcheck_sorted_drain;
+        ] );
+      ( "dense",
+        [
+          Alcotest.test_case "interner contiguous" `Quick test_interner_contiguous;
+          Alcotest.test_case "slots lifo recycle" `Quick test_slots_lifo_recycle;
+          Alcotest.test_case "slots stale handle" `Quick test_slots_stale_handle;
+          QCheck_alcotest.to_alcotest test_slots_qcheck_no_aliasing;
+          QCheck_alcotest.to_alcotest test_pqueue_qcheck_matches_heap;
         ] );
       ( "table",
         [

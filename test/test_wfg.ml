@@ -111,6 +111,63 @@ let qcheck_would_deadlock_oracle =
       let actual = W.cycles_through g waiter <> [] in
       predicted = actual)
 
+(* qcheck: the dense (slot-indexed adjacency) graph vs the retained
+   hashtable reference — identical random set/clear/remove traffic, then
+   every observable compared after every step, including the cycle
+   enumeration the resolver consumes. *)
+let qcheck_dense_vs_reference =
+  let module R = Prb_wfg.Waits_for_ref in
+  QCheck.Test.make ~name:"dense graph matches retained reference" ~count:300
+    QCheck.(
+      list
+        (triple (int_bound 3) (int_range 0 5) (list_of_size Gen.(0 -- 3) (int_range 0 5))))
+    (fun script ->
+      let g = W.create () and r = R.create () in
+      let ids = List.init 6 Fun.id in
+      let agree () =
+        W.txns g = R.txns r
+        && W.edges g = R.edges r
+        && W.is_exclusive_forest g = R.is_exclusive_forest r
+        && List.for_all
+             (fun i ->
+               W.waits g i = R.waits r i
+               && W.waiting_on g i = R.waiting_on r i
+               && W.is_blocked g i = R.is_blocked r i
+               && W.cycles_through g i = R.cycles_through r i)
+             ids
+        && W.on_cycle_from g ids = R.on_cycle_from r ids
+      in
+      List.for_all
+        (fun (op, id, others) ->
+          (match op with
+          | 0 ->
+              let holders =
+                List.sort_uniq compare (List.filter (fun h -> h <> id) others)
+              in
+              if holders <> [] && not (W.is_blocked g id) then begin
+                W.set_wait g ~waiter:id ~holders "e";
+                R.set_wait r ~waiter:id ~holders "e"
+              end
+          | 1 ->
+              W.clear_wait g id;
+              R.clear_wait r id
+          | 2 ->
+              W.remove_txn g id;
+              R.remove_txn r id
+          | _ ->
+              W.add_txn g id;
+              R.add_txn r id);
+          (* would_deadlock probes are pure; compare on the same args *)
+          let holders =
+            List.sort_uniq compare (List.filter (fun h -> h <> id) others)
+          in
+          (holders = []
+          || W.is_blocked g id
+          || W.would_deadlock g ~waiter:id ~holders
+             = R.would_deadlock r ~waiter:id ~holders)
+          && agree ())
+        script)
+
 let () =
   Alcotest.run "prb_wfg"
     [
@@ -127,5 +184,6 @@ let () =
           Alcotest.test_case "forest shape" `Quick test_exclusive_forest;
           Alcotest.test_case "pp / dot" `Quick test_pp_and_dot;
           QCheck_alcotest.to_alcotest qcheck_would_deadlock_oracle;
+          QCheck_alcotest.to_alcotest qcheck_dense_vs_reference;
         ] );
     ]
