@@ -774,7 +774,21 @@ let lint_json_arg =
   Arg.(
     value & flag
     & info [ "json" ]
-        ~doc:"Emit violations as a JSON array (for editor integration).")
+        ~doc:
+          "Emit findings as a JSON report object (sorted by file, line, \
+           rule id; carries $(b,schema_version)).")
+
+let lint_deep_arg =
+  Arg.(
+    value & flag
+    & info [ "deep" ]
+        ~doc:
+          "Also run the typed deep pass (rules A1/P1/H1). Directory \
+           arguments are analyzed through the .cmt files of the \
+           enclosing dune build ($(b,_build/default/lib)) — run \
+           $(b,dune build) first; dune emits the needed bin-annot \
+           output by default. Explicit $(b,.ml) file arguments are \
+           typechecked against the stdlib and analyzed directly.")
 
 let default_lint_paths () =
   (* walk up to the dune-project root so [prb lint] works from anywhere
@@ -787,11 +801,15 @@ let default_lint_paths () =
   in
   match root (Sys.getcwd ()) with
   | Some dir ->
-      [ Filename.concat dir "lib"; Filename.concat dir "bin" ]
+      [
+        Filename.concat dir "lib";
+        Filename.concat dir "bin";
+        Filename.concat dir "bench";
+      ]
       |> List.filter Sys.file_exists
   | None -> []
 
-let run_lint paths rules json =
+let run_lint paths rules json deep =
   let module Lint = Prb_lint.Lint in
   let rules =
     match rules with
@@ -827,13 +845,43 @@ let run_lint paths rules json =
     | ps -> ps
   in
   let violations, errors = Lint.scan ?rules paths in
-  if json then
-    Fmt.pr "[%s]@."
-      (String.concat ",\n " (List.map Lint.violation_json violations))
-  else
-    List.iter (fun v -> Fmt.pr "%a@." Lint.pp_violation v) violations;
-  List.iter (fun (f, e) -> Fmt.epr "prb lint: parse error in %s:@.%s@." f e)
-    errors;
+  let deep_violations, deep_errors =
+    if deep then begin
+      (* explicit .ml file arguments get the typed pass directly; any
+         directory argument triggers the repo-wide pass over the built
+         tree's .cmt files *)
+      let file_violations, file_errors =
+        List.fold_left
+          (fun (vs, es) p ->
+            if Sys.file_exists p && not (Sys.is_directory p) then
+              match Prb_lint.Lint_deep.check_file p with
+              | Ok v -> (v @ vs, es)
+              | Error e -> (vs, (p, e) :: es)
+            else (vs, es))
+          ([], []) paths
+      in
+      let tree_violations, tree_errors =
+        if List.exists (fun p -> Sys.is_directory p) paths then
+          Prb_lint.Lint_deep.scan_build ()
+        else ([], [])
+      in
+      (file_violations @ tree_violations, file_errors @ tree_errors)
+    end
+    else ([], [])
+  in
+  let deep_violations =
+    match rules with
+    | None -> deep_violations
+    | Some rs ->
+        List.filter (fun v -> List.mem v.Lint.rule rs) deep_violations
+  in
+  let violations =
+    List.sort Lint.compare_violation (violations @ deep_violations)
+  in
+  let errors = errors @ deep_errors in
+  if json then Fmt.pr "%s@." (Lint.report_json violations)
+  else List.iter (fun v -> Fmt.pr "%a@." Lint.pp_violation v) violations;
+  List.iter (fun (f, e) -> Fmt.epr "prb lint: error in %s:@.%s@." f e) errors;
   if errors <> [] then 2 else if violations <> [] then 1 else 0
 
 let lint_cmd =
@@ -849,19 +897,31 @@ let lint_cmd =
          compare where an id module owns the order), D3 (no ambient \
          randomness or wall clock), L1 (core/lock must not depend on the \
          simulation stack), L2 (no catch-all match arm on the distributed \
-         protocol message type).";
+         protocol message type), L3 (production code must not reference a \
+         *_ref differential-test oracle).";
+      `P
+        "With $(b,--deep), additionally loads the typed trees (.cmt) of \
+         the enclosing dune build and checks A1 (functions marked \
+         [\\@hot] are transitively allocation-free), P1 (static \
+         two-phase locking: no lock acquire after a release of the same \
+         transaction, except through the rollback layer) and H1 \
+         (Dense.Slots handles stay confined to their arena owner; \
+         unsafe_* access stays in lib/util).";
       `P
         "Violations print as $(b,file:line:col: rule-id message). Suppress \
          a finding with $(b,[\\@lint.allow \"D1\"]) on the expression, \
          $(b,[\\@\\@lint.allow \"D1\"]) on the enclosing let-binding, or a \
          floating $(b,[\\@\\@\\@lint.allow \"D1 D2\"]) for the rest of the \
-         file.";
+         file. Deep rules (A1/P1/H1) additionally require a rationale: \
+         $(b,[\\@lint.allow \"A1: why this site is exempt\"]).";
       `P "Exits 0 when clean, 1 on violations, 2 on parse/usage errors.";
     ]
   in
   Cmd.v
     (Cmd.info "lint" ~doc ~man)
-    Term.(const run_lint $ lint_paths_arg $ lint_rules_arg $ lint_json_arg)
+    Term.(
+      const run_lint $ lint_paths_arg $ lint_rules_arg $ lint_json_arg
+      $ lint_deep_arg)
 
 (* --- main ------------------------------------------------------------- *)
 

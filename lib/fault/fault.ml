@@ -99,9 +99,14 @@ let random ?(n_sites = 0) ~seed ~horizon () =
     rebuild_locks = true;
   }
 
-let in_outage p tick =
-  List.exists (fun o -> o.out_from <= tick && tick < o.out_until)
-    p.detector_outages
+(* Top-level scan: [in_outage] sits on the scheduler's per-tick
+   detection checks, so it must not build a closure per call. *)
+let rec outage_covers (tick : int) = function
+  | [] -> false
+  | o :: rest ->
+      (o.out_from <= tick && tick < o.out_until) || outage_covers tick rest
+
+let in_outage p tick = outage_covers tick p.detector_outages
 
 let backoff to_ ~attempt =
   let n = min (max 0 attempt) to_.backoff_cap in

@@ -59,7 +59,9 @@ let create () =
     n_retained = 0;
   }
 
-let live_of t txn ~tick =
+let[@lint.allow
+     "A1: lazily creates the per-transaction certifier record on its \
+      first grant only"] live_of t txn ~tick =
   match Hashtbl.find_opt t.live txn with
   | Some l -> l
   | None ->
@@ -69,13 +71,19 @@ let live_of t txn ~tick =
       Hashtbl.replace t.live txn l;
       l
 
-let note_grant t ~tick txn entity mode =
+let[@lint.allow
+     "A1: per-grant provenance bookkeeping — the streaming \
+      serializability certifier's input is built here by \
+      design"] note_grant t ~tick txn entity mode =
   if tick > t.now then t.now <- tick;
   let l = live_of t txn ~tick in
   if tick < l.first_granted then l.first_granted <- tick;
   Hashtbl.replace l.open_ivs entity (mode, tick)
 
-let note_release t ~tick txn entity =
+let[@lint.allow
+     "A1: per-release certifier bookkeeping — closing the grant interval \
+      records it for the streaming serializability check, by \
+      design"] note_release t ~tick txn entity =
   if tick > t.now then t.now <- tick;
   match Hashtbl.find_opt t.live txn with
   | None -> ()

@@ -8,9 +8,13 @@
 module P = Parsetree
 module A = Ast_iterator
 
-type rule = D1 | D2 | D3 | L1 | L2
+type rule = D1 | D2 | D3 | L1 | L2 | L3 | A1 | P1 | H1
 
-let all_rules = [ D1; D2; D3; L1; L2 ]
+let all_rules = [ D1; D2; D3; L1; L2; L3; A1; P1; H1 ]
+
+let untyped_rules = [ D1; D2; D3; L1; L2; L3 ]
+
+let deep_rules = [ A1; P1; H1 ]
 
 let rule_id = function
   | D1 -> "D1"
@@ -18,6 +22,10 @@ let rule_id = function
   | D3 -> "D3"
   | L1 -> "L1"
   | L2 -> "L2"
+  | L3 -> "L3"
+  | A1 -> "A1"
+  | P1 -> "P1"
+  | H1 -> "H1"
 
 let rule_of_id s =
   match String.uppercase_ascii s with
@@ -26,6 +34,10 @@ let rule_of_id s =
   | "D3" -> Some D3
   | "L1" -> Some L1
   | "L2" -> Some L2
+  | "L3" -> Some L3
+  | "A1" -> Some A1
+  | "P1" -> Some P1
+  | "H1" -> Some H1
   | _ -> None
 
 let rule_doc = function
@@ -44,6 +56,19 @@ let rule_doc = function
   | L2 ->
       "no catch-all arm in matches over the distributed protocol message \
        type"
+  | L3 ->
+      "production code must not depend on a *_ref reference module (they \
+       exist for the differential tests only)"
+  | A1 ->
+      "[deep] functions marked [@hot] must not allocate, transitively \
+       through repo-local calls"
+  | P1 ->
+      "[deep] no lock acquire statically reachable after a same-\
+       transaction release outside the rollback layer (2PL growth-phase \
+       discipline)"
+  | H1 ->
+      "[deep] Dense.Slots handles stay inside their arena's module and \
+       Array.unsafe_* stays confined to lib/util"
 
 type context = {
   lib : string option;
@@ -69,6 +94,12 @@ let bin_context =
 let neutral_context =
   { lib = None; replay_critical = false; clock_provider = false; distrib = false }
 
+(* bench/ is production code for lint purposes: D3 applies in full (the
+   harness draws from the seeded Rng; its timing goes through the
+   bench_scale clock provider), and the explicitly-sanctioned sites carry
+   [@lint.allow "D3"]. *)
+let bench_context = neutral_context
+
 let context_of_path path =
   let base = Filename.basename path in
   let from_marker =
@@ -81,12 +112,15 @@ let context_of_path path =
   in
   match from_marker with
   | Some "bin" -> bin_context
+  | Some "bench" -> bench_context
+  | Some "clean" | Some "deep" -> neutral_context
   | Some name -> context_of_lib name
   | None -> (
       let segments = String.split_on_char '/' path in
       let rec find = function
         | "lib" :: name :: _ :: _ -> Some (context_of_lib name)
         | "bin" :: _ :: _ -> Some bin_context
+        | "bench" :: _ :: _ -> Some bench_context
         | _ :: rest -> find rest
         | [] -> None
       in
@@ -126,6 +160,31 @@ let violation_json v =
     (json_escape v.file) v.line v.col (rule_id v.rule)
     (json_escape v.message)
 
+(* Reports sort by (file, line, rule-id) — not by column — so a report
+   diffs stably across checkouts and filesystems even when a formatter
+   nudges intra-line positions. Column and message break the remaining
+   ties deterministically. *)
+let compare_violation a b =
+  match String.compare a.file b.file with
+  | 0 -> (
+      match Int.compare a.line b.line with
+      | 0 -> (
+          match String.compare (rule_id a.rule) (rule_id b.rule) with
+          | 0 -> (
+              match Int.compare a.col b.col with
+              | 0 -> String.compare a.message b.message
+              | n -> n)
+          | n -> n)
+      | n -> n)
+  | n -> n
+
+let schema_version = 2
+
+let report_json violations =
+  let vs = List.sort compare_violation violations in
+  Printf.sprintf "{\"schema_version\":%d,\"findings\":[%s]}" schema_version
+    (String.concat ",\n " (List.map violation_json vs))
+
 (* --- Longident helpers ------------------------------------------------ *)
 
 let rec lid_head = function
@@ -146,8 +205,28 @@ let rec lid_last_module = function
 
 (* --- Attribute handling ----------------------------------------------- *)
 
-let allow_ids (attrs : P.attributes) =
-  List.concat_map
+(* An allow payload is "IDS" or "IDS: rationale" — e.g.
+   [[@lint.allow "D1 D2"]] or [[@lint.allow "A1: amortized growth"]].
+   The deep rules (A1/P1/H1) refuse a suppression whose rationale is
+   missing or empty; the syntactic rules ignore the rationale. *)
+let parse_allow_payload s =
+  let ids_part, rationale =
+    match String.index_opt s ':' with
+    | Some i ->
+        let r = String.sub s (i + 1) (String.length s - i - 1) in
+        let r = String.trim r in
+        (String.sub s 0 i, if String.equal r "" then None else Some r)
+    | None -> (s, None)
+  in
+  let ids =
+    String.split_on_char ' ' ids_part
+    |> List.concat_map (String.split_on_char ',')
+    |> List.filter (fun x -> not (String.equal x ""))
+  in
+  (ids, rationale)
+
+let allow_specs (attrs : P.attributes) =
+  List.filter_map
     (fun (a : P.attribute) ->
       if String.equal a.attr_name.txt "lint.allow" then
         match a.attr_payload with
@@ -161,12 +240,12 @@ let allow_ids (attrs : P.attributes) =
                 _;
               };
             ] ->
-            String.split_on_char ' ' s
-            |> List.concat_map (String.split_on_char ',')
-            |> List.filter (fun x -> not (String.equal x ""))
-        | _ -> []
-      else [])
+            Some (parse_allow_payload s)
+        | _ -> None
+      else None)
     attrs
+
+let allow_ids attrs = List.concat_map fst (allow_specs attrs)
 
 (* --- The checker ------------------------------------------------------ *)
 
@@ -214,10 +293,37 @@ let check_structure ?(rules = all_rules) ~(context : context) ~file str =
         f ();
         scope_allows := List.tl !scope_allows
   in
+  let in_ref_module =
+    (* the *_ref modules may reference themselves and each other *)
+    Filename.check_suffix (Filename.basename file) "_ref.ml"
+  in
+  let rec lid_components = function
+    | Longident.Lident s -> [ s ]
+    | Longident.Ldot (l, s) -> s :: lid_components l
+    | Longident.Lapply (a, b) -> lid_components a @ lid_components b
+  in
   (* Rules over one identifier reference. [applied] distinguishes the
      function position of an application: infix [a = b] is allowed, while
      [=] handed to a higher-order function is a polymorphic comparator. *)
   let check_lid ~applied lid loc =
+    (if not in_ref_module then
+       match
+         List.find_opt
+           (fun c ->
+             String.length c > 4
+             && c.[0] >= 'A'
+             && c.[0] <= 'Z'
+             && Filename.check_suffix c "_ref")
+           (lid_components lid)
+       with
+       | Some m ->
+           emit L3 loc
+             (Printf.sprintf
+                "dependency on reference module %s: the *_ref modules exist \
+                 only as differential-test oracles; production code uses the \
+                 dense implementations"
+                m)
+       | None -> ());
     (match lid_last_module lid with
     | Some "Hashtbl" when context.replay_critical -> (
         match Longident.last lid with
@@ -368,18 +474,7 @@ let check_structure ?(rules = all_rules) ~(context : context) ~file str =
     }
   in
   iterator.structure iterator str;
-  List.sort
-    (fun a b ->
-      match String.compare a.file b.file with
-      | 0 -> (
-          match Int.compare a.line b.line with
-          | 0 -> (
-              match Int.compare a.col b.col with
-              | 0 -> String.compare (rule_id a.rule) (rule_id b.rule)
-              | n -> n)
-          | n -> n)
-      | n -> n)
-    !found
+  List.sort compare_violation !found
 
 let parse_implementation ~file source =
   let lexbuf = Lexing.from_string source in

@@ -32,14 +32,35 @@
       over the distributed protocol message type ([Dist_scheduler.event]),
       so adding a message variant forces every handler site to decide.
 
+    - {b L3} — production code (everything under [lib/], [bin/] and
+      [bench/]) must not reference a [*_ref] module
+      ([Lock_table_ref], [Waits_for_ref], [History_stack_ref]): the
+      reference implementations exist only as differential-test oracles
+      and must never creep back onto a hot path.
+
+    Three further rules — {b A1} (hot paths are allocation-free), {b P1}
+    (static two-phase locking discipline) and {b H1} (slot handles do not
+    escape their arena) — need type and call-graph information and are
+    implemented by the typed deep pass ({!Lint_deep}, [prb lint --deep]).
+    Their ids are declared here so rule filters, reports and suppression
+    share one namespace.
+
     Suppression: attach [[@lint.allow "D1"]] to an expression or a
     [let]-binding ([[@@lint.allow "D1"]]), or float
     [[@@@lint.allow "D1 D2"]] to cover the rest of the file. Ids may be
-    separated by spaces or commas. *)
+    separated by spaces or commas. A rationale follows after a colon —
+    [[@lint.allow "A1: amortized buffer growth"]] — and is {e required}
+    by the deep rules. *)
 
-type rule = D1 | D2 | D3 | L1 | L2
+type rule = D1 | D2 | D3 | L1 | L2 | L3 | A1 | P1 | H1
 
 val all_rules : rule list
+
+val untyped_rules : rule list
+(** The rules the syntactic pass implements. *)
+
+val deep_rules : rule list
+(** The rules that need the typed pass ({!Lint_deep}). *)
 
 val rule_id : rule -> string
 (** ["D1"], ["D2"], ... *)
@@ -78,8 +99,27 @@ type violation = {
 val pp_violation : Format.formatter -> violation -> unit
 (** Renders [file:line:col: rule-id message] — greppable, editor-clickable. *)
 
+val compare_violation : violation -> violation -> int
+(** Report order: (file, line, rule-id), then column and message as
+    deterministic tie-breaks. Line-major and column-free in the leading
+    keys so reports diff stably across filesystems and formatters. *)
+
 val violation_json : violation -> string
 (** One violation as a JSON object (for [prb lint --json]). *)
+
+val schema_version : int
+(** Version of the [--json] report shape, carried in the report itself. *)
+
+val report_json : violation list -> string
+(** The full [--json] report: [{"schema_version":N,"findings":[...]}],
+    findings sorted with {!compare_violation}. *)
+
+val parse_allow_payload : string -> string list * string option
+(** Split an allow payload into rule ids and the optional rationale after
+    the first [':']. *)
+
+val allow_specs : Parsetree.attributes -> (string list * string option) list
+(** Every [[@lint.allow]] spec carried by the attributes, parsed. *)
 
 val check_source :
   ?rules:rule list ->

@@ -1,0 +1,140 @@
+(* Typed-tree acquisition for the deep pass (Lint_deep).
+
+   Two sources feed the same analysis:
+
+   - [.cmt] files, produced by any [-bin-annot] build (dune always passes
+     it), loaded with [Cmt_format]. This is how the real tree is checked:
+     the typedtree in a cmt carries every inferred type and resolved path,
+     so the analysis needs no environment reconstruction.
+   - in-process typechecking of standalone sources ([typecheck_source]),
+     used by the test fixtures: a fixture that only references the stdlib
+     is typed against the compiler's initial environment, no build
+     required.
+
+   Dune's wrapped libraries compile [lib/util/dense.ml] as the unit
+   [Prb_util__Dense] but resolve cross-library references through the
+   generated alias module, printing paths like [Prb_util.Dense.Pqueue.push].
+   [canonical_of_modname] maps the compiled unit name onto that dotted
+   spelling so definition keys and reference paths meet in one namespace. *)
+
+type unit_source = {
+  name : string;  (** canonical module name, e.g. ["Prb_util.Dense"] *)
+  source : string;  (** source path as recorded at compile time *)
+  structure : Typedtree.structure;
+}
+
+(* "Prb_util__Dense" -> "Prb_util.Dense" (every "__" is a wrapper join:
+   repo module names never contain a double underscore of their own). *)
+let canonical_of_modname name =
+  let buf = Buffer.create (String.length name) in
+  let n = String.length name in
+  let i = ref 0 in
+  while !i < n do
+    if !i + 1 < n && name.[!i] = '_' && name.[!i + 1] = '_' then begin
+      Buffer.add_char buf '.';
+      (* the wrapper join lowercases nothing, but the member unit is
+         capitalized in the path spelling *)
+      if !i + 2 < n then begin
+        Buffer.add_char buf (Char.uppercase_ascii name.[!i + 2]);
+        i := !i + 3
+      end
+      else i := !i + 2
+    end
+    else begin
+      Buffer.add_char buf name.[!i];
+      incr i
+    end
+  done;
+  Buffer.contents buf
+
+let canonical_path p = canonical_of_modname p
+
+(* A generated wrapper ([prb_core.ml-gen]) only aliases its members; it is
+   not user code and its "source" does not exist in the tree. *)
+let is_generated_alias (cmt : Cmt_format.cmt_infos) =
+  match cmt.cmt_sourcefile with
+  | Some f -> Filename.check_suffix f ".ml-gen"
+  | None -> true
+
+let read_cmt path =
+  match Cmt_format.read_cmt path with
+  | exception _ -> Error (Printf.sprintf "%s: unreadable cmt" path)
+  | cmt -> (
+      if is_generated_alias cmt then Ok None
+      else
+        match cmt.cmt_annots with
+        | Cmt_format.Implementation structure ->
+            Ok
+              (Some
+                 {
+                   name = canonical_of_modname cmt.cmt_modname;
+                   source =
+                     (match cmt.cmt_sourcefile with
+                     | Some f -> f
+                     | None -> path);
+                   structure;
+                 })
+        | Cmt_format.Partial_implementation _ ->
+            Error (Printf.sprintf "%s: partial typedtree (build error?)" path)
+        | _ -> Ok None (* an interface or pack: nothing to analyze *))
+
+(* Walk [root] for cmt files. Unlike the source scanner this must descend
+   into dot-directories: dune keeps its object files under
+   [.<lib>.objs/byte/]. The [_build/install] mirror is skipped so each
+   unit loads exactly once. *)
+let find_cmts root =
+  let rec walk acc path =
+    if Sys.file_exists path && Sys.is_directory path then
+      Sys.readdir path |> Array.to_list |> List.sort String.compare
+      |> List.fold_left
+           (fun acc name ->
+             if String.equal name "install" || String.equal name ".git" then
+               acc
+             else walk acc (Filename.concat path name))
+           acc
+    else if Filename.check_suffix path ".cmt" then path :: acc
+    else acc
+  in
+  List.rev (walk [] root)
+
+let load_units root =
+  List.fold_left
+    (fun (units, errs) path ->
+      match read_cmt path with
+      | Ok (Some u) -> (u :: units, errs)
+      | Ok None -> (units, errs)
+      | Error e -> (units, (path, e) :: errs))
+    ([], []) (find_cmts root)
+  |> fun (units, errs) ->
+  ( List.sort (fun a b -> String.compare a.name b.name) units,
+    List.rev errs )
+
+(* --- In-process typechecking (fixtures) ------------------------------- *)
+
+let env = lazy (Compmisc.init_path (); Compmisc.initial_env ())
+
+let typecheck_source ~file source =
+  let lexbuf = Lexing.from_string source in
+  Lexing.set_filename lexbuf file;
+  match
+    let ast = Parse.implementation lexbuf in
+    let str, _sig, _names, _shape, _env =
+      Typemod.type_structure (Lazy.force env) ast
+    in
+    str
+  with
+  | str -> Ok str
+  | exception exn -> (
+      match Location.error_of_exn exn with
+      | Some (`Ok report) ->
+          Error (Format.asprintf "%a" Location.print_report report)
+      | Some `Already_displayed | None -> Error (Printexc.to_string exn))
+
+(* Fixture units keep their file-derived name verbatim (no "__" wrapper
+   interpretation): [deep/core__p1_bad.ml] becomes unit [Core__p1_bad]. *)
+let unit_of_source ~file source =
+  match typecheck_source ~file source with
+  | Error _ as e -> e
+  | Ok structure ->
+      let base = Filename.remove_extension (Filename.basename file) in
+      Ok { name = String.capitalize_ascii base; source = file; structure }

@@ -73,17 +73,17 @@ let create ?(fair = true) () =
 
 let is_fair t = t.fair
 
-let grow_int cap fill arr =
+let[@lint.allow "A1: amortized geometric growth, never on the steady-state path"] grow_int cap fill arr =
   let narr = Array.make cap fill in
   Array.blit arr 0 narr 0 (Array.length arr);
   narr
 
-let grow_bufs cap arr =
+let[@lint.allow "A1: amortized geometric growth, never on the steady-state path"] grow_bufs cap arr =
   let narr = Array.make cap [||] in
   Array.blit arr 0 narr 0 (Array.length arr);
   narr
 
-let ensure_eid t eid =
+let[@lint.allow "A1: amortized geometric growth, never on the steady-state path"] ensure_eid t eid =
   if eid >= Array.length t.live then begin
     let cap = max 64 (max (eid + 1) (2 * Array.length t.live)) in
     let nl = Array.make cap false in
@@ -108,7 +108,7 @@ let ensure_txn t who =
   end
 
 (* Append a packed value to a per-slot buffer owned by [bufs.(i)]. *)
-let buf_push bufs lens i v =
+let[@lint.allow "A1: amortized buffer doubling; the append itself writes in place"] buf_push bufs lens i v =
   let buf = bufs.(i) in
   let n = lens.(i) in
   let buf =
@@ -123,14 +123,17 @@ let buf_push bufs lens i v =
   buf.(n) <- v;
   lens.(i) <- n + 1
 
+(* The scan loops below take their state as explicit parameters instead
+   of capturing it in a local closure: these sit on the [@hot] grant and
+   release paths, and a capturing [let rec] allocates its closure on every
+   call. *)
+
+let rec holder_index buf n who i =
+  if i >= n then -1 else if buf.(i) lsr 1 = who then i else holder_index buf n who (i + 1)
+
 (* Index of [who] in the holder set of [eid], or -1. *)
 let find_holding t eid who =
-  let buf = t.hold_buf.(eid) in
-  let n = t.hold_len.(eid) in
-  let rec go i =
-    if i >= n then -1 else if buf.(i) lsr 1 = who then i else go (i + 1)
-  in
-  go 0
+  holder_index t.hold_buf.(eid) t.hold_len.(eid) who 0
 
 let is_upgrade t eid who = find_holding t eid who >= 0
 
@@ -138,16 +141,15 @@ let is_upgrade t eid who = find_holding t eid who >= 0
    pairwise distinct, so this is "sole holder". *)
 let sole_holder t eid who = t.hold_len.(eid) = 1 && is_upgrade t eid who
 
+let rec conflicting_from buf n who mode_bit i =
+  if i >= n then false
+  else
+    let p = buf.(i) in
+    (p lsr 1 <> who && bits_conflict (p land 1) mode_bit)
+    || conflicting_from buf n who mode_bit (i + 1)
+
 let has_conflicting_holder t eid who mode_bit =
-  let buf = t.hold_buf.(eid) in
-  let n = t.hold_len.(eid) in
-  let rec go i =
-    if i >= n then false
-    else
-      let p = buf.(i) in
-      (p lsr 1 <> who && bits_conflict (p land 1) mode_bit) || go (i + 1)
-  in
-  go 0
+  conflicting_from t.hold_buf.(eid) t.hold_len.(eid) who mode_bit 0
 
 let scratch_push t n v =
   if n >= Array.length t.scratch then
@@ -159,71 +161,85 @@ let scratch_push t n v =
    holders, plus (fair discipline, non-upgrades only — a conversion waits
    for the other holders alone) conflicting requests queued ahead of
    [who]. Sorted, deduplicated. *)
-let current_blockers t eid who mode_bit =
-  let n = ref 0 in
-  let hbuf = t.hold_buf.(eid) in
-  for i = 0 to t.hold_len.(eid) - 1 do
+let rec scratch_holders t eid who mode_bit hbuf i stop n =
+  if i >= stop then n
+  else
     let p = hbuf.(i) in
-    if p lsr 1 <> who && bits_conflict (p land 1) mode_bit then
-      n := scratch_push t !n (p lsr 1)
-  done;
-  if t.fair && not (is_upgrade t eid who) then begin
-    let qbuf = t.q_buf.(eid) in
-    let s = t.q_start.(eid) in
-    let stop = ref false in
-    let i = ref s in
-    while (not !stop) && !i < s + t.q_len.(eid) do
-      let p = qbuf.(!i) in
-      if p lsr 1 = who then stop := true
-      else begin
-        if bits_conflict (p land 1) mode_bit then
-          n := scratch_push t !n (p lsr 1);
-        incr i
-      end
-    done
-  end;
-  (* insertion sort + dedup on the scratch prefix; blocker sets are tiny *)
-  let a = t.scratch in
-  for i = 1 to !n - 1 do
-    let v = a.(i) in
-    let j = ref (i - 1) in
-    while !j >= 0 && a.(!j) > v do
-      a.(!j + 1) <- a.(!j);
-      decr j
-    done;
-    a.(!j + 1) <- v
-  done;
+    let n =
+      if p lsr 1 <> who && bits_conflict (p land 1) mode_bit then
+        scratch_push t n (p lsr 1)
+      else n
+    in
+    scratch_holders t eid who mode_bit hbuf (i + 1) stop n
+
+(* Queued conflicts ahead of [who]; the scan stops at [who] itself. *)
+let rec scratch_queued t who mode_bit qbuf i stop n =
+  if i >= stop then n
+  else
+    let p = qbuf.(i) in
+    if p lsr 1 = who then n
+    else
+      let n =
+        if bits_conflict (p land 1) mode_bit then scratch_push t n (p lsr 1)
+        else n
+      in
+      scratch_queued t who mode_bit qbuf (i + 1) stop n
+
+let rec insert_shift (a : int array) j v =
+  if j >= 0 && a.(j) > v then begin
+    a.(j + 1) <- a.(j);
+    insert_shift a (j - 1) v
+  end
+  else a.(j + 1) <- v
+
+let[@lint.allow
+     "A1: builds the blocker list on the blocked path only; the granted \
+      fast path returns the static empty list"] build_blockers a n i prev acc
+    =
   let rec build i prev acc =
     if i < 0 then acc
-    else if i < !n - 1 && a.(i) = prev then build (i - 1) prev acc
+    else if i < n - 1 && a.(i) = prev then build (i - 1) prev acc
     else build (i - 1) a.(i) (a.(i) :: acc)
   in
-  if !n = 0 then [] else build (!n - 1) min_int []
+  build i prev acc
+
+let current_blockers t eid who mode_bit =
+  let n =
+    scratch_holders t eid who mode_bit t.hold_buf.(eid) 0 t.hold_len.(eid) 0
+  in
+  let n =
+    if t.fair && not (is_upgrade t eid who) then
+      let s = t.q_start.(eid) in
+      scratch_queued t who mode_bit t.q_buf.(eid) s (s + t.q_len.(eid)) n
+    else n
+  in
+  (* insertion sort + dedup on the scratch prefix; blocker sets are tiny *)
+  let a = t.scratch in
+  for i = 1 to n - 1 do
+    insert_shift a (i - 1) a.(i)
+  done;
+  if n = 0 then [] else build_blockers a n (n - 1) min_int []
+
+let rec index_grant_from t buf n who eid mode_bit i =
+  if i >= n then buf_push t.held_buf t.held_len who ((eid lsl 1) lor mode_bit)
+  else if buf.(i) lsr 1 = eid then buf.(i) <- (eid lsl 1) lor mode_bit
+  else index_grant_from t buf n who eid mode_bit (i + 1)
 
 let index_grant t who eid mode_bit =
-  let buf = t.held_buf.(who) in
-  let n = t.held_len.(who) in
-  let rec go i =
-    if i >= n then buf_push t.held_buf t.held_len who ((eid lsl 1) lor mode_bit)
-    else if buf.(i) lsr 1 = eid then buf.(i) <- (eid lsl 1) lor mode_bit
-    else go (i + 1)
-  in
-  go 0
+  index_grant_from t t.held_buf.(who) t.held_len.(who) who eid mode_bit 0
+
+let rec index_release_from t buf n who eid i =
+  if i >= n then ()
+  else if buf.(i) lsr 1 = eid then begin
+    buf.(i) <- buf.(n - 1);
+    t.held_len.(who) <- n - 1
+  end
+  else index_release_from t buf n who eid (i + 1)
 
 let index_release t who eid =
-  let buf = t.held_buf.(who) in
-  let n = t.held_len.(who) in
-  let rec go i =
-    if i >= n then ()
-    else if buf.(i) lsr 1 = eid then begin
-      buf.(i) <- buf.(n - 1);
-      t.held_len.(who) <- n - 1
-    end
-    else go (i + 1)
-  in
-  go 0
+  index_release_from t t.held_buf.(who) t.held_len.(who) who eid 0
 
-let grant t eid who mode_bit =
+let[@hot] grant t eid who mode_bit =
   let i = find_holding t eid who in
   if i >= 0 then t.hold_buf.(eid).(i) <- (who lsl 1) lor mode_bit
   else buf_push t.hold_buf t.hold_len eid ((who lsl 1) lor mode_bit);
@@ -238,7 +254,7 @@ let gc_entry t eid =
     t.entries <- t.entries - 1
   end
 
-let queue_push t eid who mode_bit =
+let[@lint.allow "A1: amortized FIFO-window doubling; the enqueue itself writes in place"] queue_push t eid who mode_bit =
   let buf = t.q_buf.(eid) in
   let s = t.q_start.(eid) in
   let n = t.q_len.(eid) in
@@ -269,7 +285,7 @@ let queue_remove_at t eid p =
 
 type outcome = Granted | Blocked of txn list
 
-let request t who mode e =
+let[@hot] request t who mode e =
   ensure_txn t who;
   if t.wait_eid.(who) >= 0 then
     invalid_arg "Lock_table.request: transaction is already waiting";
@@ -283,9 +299,11 @@ let request t who mode e =
   let mode_bit = bit_of_mode mode in
   let hi = find_holding t eid who in
   (if hi >= 0 then
-     match (t.hold_buf.(eid).(hi) land 1, mode_bit) with
-     | 1, _ | 0, 0 -> invalid_arg "Lock_table.request: lock already held"
-     | _, _ -> t.upgrades <- t.upgrades + 1);
+     (* held exclusively, or re-requesting the held shared mode: caller
+        bug; a shared holder asking exclusive is the upgrade case *)
+     if t.hold_buf.(eid).(hi) land 1 = 1 || mode_bit = 0 then
+       invalid_arg "Lock_table.request: lock already held"
+     else t.upgrades <- t.upgrades + 1);
   match current_blockers t eid who mode_bit with
   | [] ->
       grant t eid who mode_bit;
@@ -295,7 +313,9 @@ let request t who mode e =
       queue_push t eid who mode_bit;
       t.wait_eid.(who) <- eid;
       t.wait_mode.(who) <- mode_bit;
-      Blocked blockers
+      (Blocked blockers
+      [@lint.allow
+        "A1: the blocked-path outcome carries its blocker list by design"])
 
 (* Drain the queue after holders or the queue itself changed.
 
@@ -304,7 +324,7 @@ let request t who mode e =
    and stop at the first waiter that still conflicts with the holders;
    under the availability discipline, every waiter compatible with the
    holders is granted regardless of position. *)
-let try_grants t eid =
+let[@lint.allow "A1: runs only after a release or cancellation on a contended entity and returns the grant report the scheduler re-dispatches; the uncontended release path exits at the empty-queue check"] try_grants t eid =
   if t.q_len.(eid) = 0 then begin
     gc_entry t eid;
     []
@@ -375,7 +395,7 @@ let try_grants t eid =
     List.rev !granted
   end
 
-let release t who e =
+let[@hot] release t who e =
   let fail () = invalid_arg "Lock_table.release: lock not held" in
   match Interner.find_opt t.ids e with
   | None -> fail ()
@@ -390,7 +410,7 @@ let release t who e =
       index_release t who eid;
       try_grants t eid
 
-let cancel_wait t who =
+let[@lint.allow "A1: cancellation happens only on rollback/timeout, off the steady-state grant path; returns the regrant report"] cancel_wait t who =
   ensure_txn t who;
   let eid = t.wait_eid.(who) in
   if eid < 0 then None

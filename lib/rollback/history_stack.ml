@@ -44,7 +44,10 @@ let n_versions t = t.len
 let n_copies t = t.len + 1
 let peak_copies t = t.peak
 
-let add_damage t lo hi =
+let[@lint.allow
+     "A1: runs only when the bounded budget evicts a version; merging \
+      the damaged-interval list is off the within-budget coalescing \
+      path"] add_damage t lo hi =
   if lo < hi then begin
     (* Insert and merge; the list stays short (one interval per eviction,
        adjacent evictions merge). *)
@@ -77,7 +80,10 @@ let evict_oldest t =
   t.len <- t.len - 1;
   add_damage t lo hi
 
-let append t lock_index value =
+let[@lint.allow
+     "A1: amortized geometric growth — compaction reuses the buffers in \
+      place and doubling happens only past capacity, never in steady \
+      state"] append t lock_index value =
   let cap = Array.length t.idxs in
   if t.start + t.len >= cap then begin
     if t.start > 0 then begin
@@ -100,7 +106,7 @@ let append t lock_index value =
   t.vals.(t.start + t.len) <- value;
   t.len <- t.len + 1
 
-let write t ~lock_index value =
+let[@hot] write t ~lock_index value =
   if t.len > 0 && lock_index < t.idxs.(t.start + t.len - 1) then
     invalid_arg "History_stack.write: lock index went backwards";
   if t.len > 0 && t.idxs.(t.start + t.len - 1) = lock_index then

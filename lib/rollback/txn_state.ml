@@ -127,7 +127,10 @@ type action =
   | Data_step
   | At_end
 
-let next_action t =
+let[@lint.allow
+     "A1: the action variant is the dispatch API between transaction \
+      state and scheduler — a short-lived two-word block per executed \
+      op, retained nowhere"] next_action t =
   if finished t then At_end
   else
     match t.program.Program.ops.(t.pc) with
@@ -144,7 +147,10 @@ let current_copies t = t.live_copies
 let note_copies t =
   if t.live_copies > t.peak_copies then t.peak_copies <- t.live_copies
 
-let lock_granted t =
+let[@lint.allow
+     "A1: a grant appends the lock record and, for exclusives, acquires \
+      the pooled shadow stack — the retained-copy machinery the paper \
+      charges per lock, not incidental allocation"] lock_granted t =
   (if finished t then
      invalid_arg "Txn_state.lock_granted: current op is not a lock request"
    else
@@ -213,7 +219,10 @@ let write_entity t e value =
         t.monitored_writes <- t.monitored_writes + 1
   | None -> invalid_arg "Txn_state: write to entity without exclusive shadow"
 
-let exec_data_op t =
+let[@lint.allow
+     "A1: data ops evaluate expressions and produce the values they \
+      write — value computation allocates its results by \
+      design"] exec_data_op t =
   (if finished t then
      invalid_arg "Txn_state.exec_data_op: current op is not a data op"
    else
@@ -227,7 +236,10 @@ let exec_data_op t =
   t.total_executed <- t.total_executed + 1;
   note_copies t
 
-let perform_unlock t =
+let[@lint.allow
+     "A1: retiring the shadow returns the final value for installation; \
+      the (entity, option) pair is the API's return shape, once per \
+      unlock"] perform_unlock t =
   let fail () =
     invalid_arg "Txn_state.perform_unlock: current op is not an unlock"
   in

@@ -25,7 +25,9 @@ module Interner = struct
   let create ?(size_hint = 64) () =
     { fwd = Hashtbl.create size_hint; names = [||]; n = 0 }
 
-  let intern t name =
+  let[@lint.allow
+       "A1: allocates only when a fresh entity name is interned; repeat \
+        lookups on the hot lock path hit the table"] intern t name =
     match Hashtbl.find_opt t.fwd name with
     | Some id -> id
     | None ->
@@ -154,7 +156,9 @@ module Pqueue = struct
     let tmp = t.a.(i) in t.a.(i) <- t.a.(j); t.a.(j) <- tmp;
     let tmp = t.b.(i) in t.b.(i) <- t.b.(j); t.b.(j) <- tmp
 
-  let ensure_capacity t =
+  let[@lint.allow
+       "A1: amortized geometric growth — allocates only when the heap \
+        doubles, never in steady state"] ensure_capacity t =
     let cap = Array.length t.prio in
     if t.size = cap then begin
       let ncap = if cap = 0 then 16 else 2 * cap in
@@ -170,7 +174,29 @@ module Pqueue = struct
       t.b <- extend t.b
     end
 
-  let push t ~priority ~tag ?(a = 0) ?(b = 0) () =
+  (* Both sift loops are top-level tail-recursive functions rather than
+     local closures or ref-index while-loops: the hot path ([@hot] below)
+     must not allocate, and a capturing local function or a fresh [ref]
+     per call would. *)
+  let rec sift_up t i =
+    if i > 0 && less t i ((i - 1) / 2) then begin
+      let parent = (i - 1) / 2 in
+      swap t i parent;
+      sift_up t parent
+    end
+
+  let rec sift_down t i =
+    let l = (2 * i) + 1 and r = (2 * i) + 2 in
+    let smallest = if l < t.size && less t l i then l else i in
+    let smallest = if r < t.size && less t r smallest then r else smallest in
+    if smallest <> i then begin
+      swap t i smallest;
+      sift_down t smallest
+    end
+
+  (* [a]/[b] are mandatory (not optional with defaults) so that a full
+     application never boxes them in [Some] at the call site. *)
+  let[@hot] push t ~priority ~tag ~a ~b =
     ensure_capacity t;
     let i = t.size in
     t.prio.(i) <- priority;
@@ -180,14 +206,9 @@ module Pqueue = struct
     t.b.(i) <- b;
     t.next_seq <- t.next_seq + 1;
     t.size <- t.size + 1;
-    let i = ref i in
-    while !i > 0 && less t !i ((!i - 1) / 2) do
-      let parent = (!i - 1) / 2 in
-      swap t !i parent;
-      i := parent
-    done
+    sift_up t i
 
-  let pop t =
+  let[@hot] pop t =
     if t.size = 0 then false
     else begin
       t.cur_prio <- t.prio.(0);
@@ -202,19 +223,7 @@ module Pqueue = struct
         t.tag.(0) <- t.tag.(last);
         t.a.(0) <- t.a.(last);
         t.b.(0) <- t.b.(last);
-        let i = ref 0 in
-        let continue = ref true in
-        while !continue do
-          let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
-          let smallest = ref !i in
-          if l < t.size && less t l !smallest then smallest := l;
-          if r < t.size && less t r !smallest then smallest := r;
-          if !smallest = !i then continue := false
-          else begin
-            swap t !i !smallest;
-            i := !smallest
-          end
-        done
+        sift_down t 0
       end;
       true
     end

@@ -66,9 +66,11 @@ module Pqueue : sig
   val is_empty : t -> bool
   val size : t -> int
 
-  val push : t -> priority:int -> tag:int -> ?a:int -> ?b:int -> unit -> unit
-  (** [tag]/[a]/[b] encode the event payload; [a] and [b] default to 0
-      and may be any int (negative selectors included). *)
+  val push : t -> priority:int -> tag:int -> a:int -> b:int -> unit
+  (** [tag]/[a]/[b] encode the event payload; [a] and [b] may be any int
+      (negative selectors included) — pass 0 when unused. They are
+      mandatory so a full application never boxes them in [Some]: push
+      sits on the [@hot] (allocation-free) path. *)
 
   val pop : t -> bool
   (** False on an empty queue; true after depositing the minimum entry

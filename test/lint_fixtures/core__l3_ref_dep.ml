@@ -1,0 +1,4 @@
+(* Fixture: L3 — production code must not depend on a *_ref reference
+   module; those exist only as differential-test oracles. *)
+
+let oracle () = Heap_ref.create ()

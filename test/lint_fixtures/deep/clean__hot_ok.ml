@@ -1,0 +1,10 @@
+(* Deep fixture: allocation-free hot code in the approved shape —
+   int-annotated parameters, closed top-level recursion, in-place array
+   updates. Must produce no findings. *)
+
+let[@hot] bump (a : int array) i = a.(i) <- a.(i) + 1
+
+let rec sum_from (a : int array) i acc =
+  if i < 0 then acc else sum_from a (i - 1) (acc + a.(i))
+
+let[@hot] total (a : int array) = sum_from a (Array.length a - 1) 0

@@ -1,0 +1,13 @@
+(* Deep fixture: the seeded A1 positive from ISSUE 8 — a scheduler-tick
+   shaped [@hot] function whose report helper allocates a tuple. The
+   closed tail-recursive [drain] loop must NOT be flagged: it captures
+   nothing, so the compiler compiles it statically. *)
+
+let mk_report a b = (a, b)
+
+let rec drain i acc = if i = 0 then acc else drain (i - 1) (acc + 1)
+
+let[@hot] tick state =
+  let n = drain 4 0 in
+  state := n;
+  mk_report n (n + 1)

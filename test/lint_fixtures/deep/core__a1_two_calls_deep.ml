@@ -1,0 +1,7 @@
+(* Deep fixture: the allocation sits two calls below the [@hot] root —
+   tick -> mid -> leaf — so flagging it requires the transitive
+   call-graph closure, and the finding must carry the provenance chain. *)
+
+let leaf n = [ n ]
+let mid n = leaf (n + 1)
+let[@hot] tick n = mid n

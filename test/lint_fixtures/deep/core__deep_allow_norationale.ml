@@ -1,0 +1,5 @@
+(* Deep fixture: a bare [@lint.allow "A1"] with no rationale must be
+   rejected — suppression of a deep rule requires a written reason. *)
+
+let[@lint.allow "A1"] f x = (x, x)
+let use = f

@@ -1,0 +1,14 @@
+(* Deep fixture: rationale-backed suppressions. A binding-level allow
+   cuts the whole definition out of the hot closure; an expression-level
+   allow cuts just its subtree. Both carry rationales, so the unit is
+   clean. *)
+
+let[@lint.allow
+     "A1: test boundary — this helper allocates its report by design"]
+    report x =
+  Some x
+
+let[@hot] tick x =
+  let r = report x in
+  (match r with Some v -> v | None -> 0)
+  + (List.length [ x ] [@lint.allow "A1: cold diagnostics subtree"])

@@ -1,0 +1,19 @@
+(* Deep fixture: P1 positives. A transaction that releases a lock and
+   then requests another violates two-phase discipline — both when the
+   release is a direct [Lock_table] call and when it hides behind a
+   helper whose released-parameter summary must flow interprocedurally. *)
+
+module Lock_table = struct
+  let request (_ : int) (_ : int) (_ : string) = true
+  let release (_ : int) (_ : int) (_ : string) = ()
+end
+
+let shed tbl txn = Lock_table.release tbl txn "b"
+
+let direct tbl txn =
+  Lock_table.release tbl txn "a";
+  Lock_table.request tbl txn "a"
+
+let via_helper tbl txn =
+  shed tbl txn;
+  Lock_table.request tbl txn "c"

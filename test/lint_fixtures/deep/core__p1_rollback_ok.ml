@@ -1,0 +1,17 @@
+(* Deep fixture: the partial-rollback exception. Reacquiring after a
+   release is exactly what the paper's rollback layer does — calls that
+   reach the lock table through a [Rollback] component are exempt from
+   P1, so this unit must come back clean. *)
+
+module Lock_table = struct
+  let request (_ : int) (_ : int) (_ : string) = true
+  let release (_ : int) (_ : int) (_ : string) = ()
+end
+
+module Rollback = struct
+  let reacquire tbl txn e = ignore (Lock_table.request tbl txn e)
+end
+
+let ok tbl txn =
+  Lock_table.release tbl txn "a";
+  Rollback.reacquire tbl txn "a"

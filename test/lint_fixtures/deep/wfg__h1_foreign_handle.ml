@@ -1,0 +1,8 @@
+(* Deep fixture: H1 positive — this unit never calls [Slots.create], so
+   it does not own an arena and has no business minting slot handles. *)
+
+module Slots = struct
+  let alloc (_ : int) = 7
+end
+
+let grab arena = Slots.alloc arena

@@ -1,0 +1,20 @@
+(* Deep fixture: H1 positives inside an arena-owner unit. Owning the
+   arena (calling [Slots.create]) licenses API calls, but a handle may
+   still not escape into a mutable field, and [Array.unsafe_*] stays
+   confined to lib/util. *)
+
+module Slots = struct
+  let create () = 0
+  let alloc (_ : int) = 7
+  let handle (_ : int) (s : int) = s
+end
+
+type cell = { mutable h : int }
+
+let make () = Slots.create ()
+
+let stash (c : cell) arena =
+  let h = Slots.handle arena 3 in
+  c.h <- h
+
+let peek (a : int array) = Array.unsafe_get a 0

@@ -350,7 +350,7 @@ let test_pqueue_qcheck_matches_heap =
           if pop = None then begin
             let tag = !seq mod 6 and a = !seq - 500 and b = !seq * 3 in
             incr seq;
-            Dense.Pqueue.push q ~priority:prio ~tag ~a ~b ();
+            Dense.Pqueue.push q ~priority:prio ~tag ~a ~b;
             Heap.push h ~priority:prio (tag, a, b);
             Dense.Pqueue.size q = Heap.size h
           end
