@@ -26,7 +26,10 @@ let run () =
         "no deferred policy matched eager's commits at high contention");
   (* Compose with E13: keep its points if the file already has them, so
      running E13 then E14 (or either alone) leaves a coherent file. *)
-  let points = try Scale.load ~path:json_path with Sys_error _ -> [] in
+  let points =
+    try Scale.load ~path:json_path
+    with Sys_error _ | Scale.Parse_error _ -> []
+  in
   Scale.write_json ~path:json_path ~quick ~policies points;
   Common.note "wrote %s (%d E13 + %d E14 points%s)" json_path
     (List.length points) (List.length policies)

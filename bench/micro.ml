@@ -50,6 +50,76 @@ let bench_would_deadlock_multi =
          Waits_for.would_deadlock g ~waiter:0
            ~holders:[ 100; 200; 300; 400; 500; 600; 700; 800 ]))
 
+(* Adversarial shapes for the dynamic topological order behind
+   [would_deadlock] (DESIGN §14): each stresses a different part of the
+   bounded affected-region search. *)
+
+(* A long chain probed "downhill": the probe edge agrees with the
+   maintained order, so the affected region is empty and the check
+   answers without walking the chain at all. *)
+let bench_wd_chain_acyclic =
+  let n = 4000 in
+  let g = Waits_for.create () in
+  for i = 0 to n do
+    Waits_for.add_txn g i
+  done;
+  for i = 0 to n - 1 do
+    Waits_for.set_wait g ~waiter:i ~holders:[ i + 1 ] "e"
+  done;
+  Test.make ~name:"would_deadlock order-pruned (4k chain, acyclic)"
+    (Staged.stage (fun () -> Waits_for.would_deadlock g ~waiter:0 ~holders:[ n ]))
+
+(* The same chain probed "uphill" from tail to head: the one probe that
+   genuinely closes the cycle, so the search must traverse the whole
+   affected region before saying yes — the worst case the prune cannot
+   shrink. *)
+let bench_wd_chain_cycle =
+  let n = 4000 in
+  let g = Waits_for.create () in
+  for i = 0 to n do
+    Waits_for.add_txn g i
+  done;
+  for i = 0 to n - 1 do
+    Waits_for.set_wait g ~waiter:i ~holders:[ i + 1 ] "e"
+  done;
+  Test.make ~name:"would_deadlock cycle-confirming (4k chain)"
+    (Staged.stage (fun () -> Waits_for.would_deadlock g ~waiter:n ~holders:[ 0 ]))
+
+(* A convoy star: every spoke waits on the hub, and the probe asks
+   whether the hub may wait back on a handful of them — the shape an
+   exclusive hot entity produces under high contention. *)
+let bench_wd_star =
+  let spokes = 256 in
+  let g = Waits_for.create () in
+  Waits_for.add_txn g 0;
+  for i = 1 to spokes do
+    Waits_for.add_txn g i;
+    Waits_for.set_wait g ~waiter:i ~holders:[ 0 ] "h"
+  done;
+  Test.make ~name:"would_deadlock star (256 spokes, 5 holders)"
+    (Staged.stage (fun () ->
+         Waits_for.would_deadlock g ~waiter:0 ~holders:[ 1; 64; 128; 192; 256 ]))
+
+(* Near-cycle churn: close the chain's back edge (freezing the order
+   while the violation is live), probe under the frozen order, then
+   reopen it. Exercises the insert/freeze/unfreeze maintenance path that
+   deferred detection hits every time a real cycle forms and is then
+   resolved. *)
+let bench_wd_churn =
+  let n = 512 in
+  let g = Waits_for.create () in
+  for i = 0 to n do
+    Waits_for.add_txn g i
+  done;
+  for i = 0 to n - 1 do
+    Waits_for.set_wait g ~waiter:i ~holders:[ i + 1 ] "e"
+  done;
+  Test.make ~name:"near-cycle churn (512 chain close/probe/reopen)"
+    (Staged.stage (fun () ->
+         Waits_for.set_wait g ~waiter:n ~holders:[ 0 ] "c";
+         ignore (Waits_for.would_deadlock g ~waiter:1 ~holders:[ 0 ]);
+         Waits_for.clear_wait g n))
+
 (* Commit-path held-locks lookup: O(locks held) via the per-transaction
    index, independent of how many entries the table has accumulated. *)
 let bench_held_by =
@@ -239,6 +309,10 @@ let run () =
     [
       bench_would_deadlock;
       bench_would_deadlock_multi;
+      bench_wd_chain_acyclic;
+      bench_wd_chain_cycle;
+      bench_wd_star;
+      bench_wd_churn;
       bench_held_by;
       bench_fixpoint;
       bench_cycles_through;

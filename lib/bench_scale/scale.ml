@@ -21,11 +21,22 @@ type point = {
   rollbacks : int;
   wall_seconds : float;
   commits_per_sec : float;
-  detect_seconds : float;
-  detect_share : float;
-  detect_calls : int;
+  check_seconds : float;
+  check_share : float;
+  check_calls : int;
+  enumerate_seconds : float;
+  enumerate_share : float;
+  enumerate_calls : int;
   allocated_mwords : float;
 }
+
+(* BENCH_scale.json schema. Version 2 split the detection accounting
+   into check (boolean deadlock probes and censuses) and enumerate
+   (cycle enumeration for the resolver) fields; version 1 — files
+   without the field — carried a single detect_seconds/share/calls
+   triple that also folded victim selection and rollback application
+   into "detection". *)
+let schema_version = 2
 
 let seed = 11
 let mpl = 16
@@ -107,9 +118,13 @@ let run_central ~contention ~txns =
     wall_seconds = wall;
     commits_per_sec =
       (if wall > 0.0 then float_of_int s.Scheduler.commits /. wall else nan);
-    detect_seconds = r.Sim.detect_seconds;
-    detect_share = (if wall > 0.0 then r.Sim.detect_seconds /. wall else nan);
-    detect_calls = r.Sim.detect_calls;
+    check_seconds = r.Sim.check_seconds;
+    check_share = (if wall > 0.0 then r.Sim.check_seconds /. wall else nan);
+    check_calls = r.Sim.check_calls;
+    enumerate_seconds = r.Sim.enumerate_seconds;
+    enumerate_share =
+      (if wall > 0.0 then r.Sim.enumerate_seconds /. wall else nan);
+    enumerate_calls = r.Sim.enumerate_calls;
     allocated_mwords = mwords;
   }
 
@@ -148,9 +163,13 @@ let run_distrib ~contention ~txns =
     wall_seconds = wall;
     commits_per_sec =
       (if wall > 0.0 then float_of_int s.D.commits /. wall else nan);
-    detect_seconds = s.D.detect_seconds;
-    detect_share = (if wall > 0.0 then s.D.detect_seconds /. wall else nan);
-    detect_calls = s.D.detect_calls;
+    check_seconds = s.D.check_seconds;
+    check_share = (if wall > 0.0 then s.D.check_seconds /. wall else nan);
+    check_calls = s.D.check_calls;
+    enumerate_seconds = s.D.enumerate_seconds;
+    enumerate_share =
+      (if wall > 0.0 then s.D.enumerate_seconds /. wall else nan);
+    enumerate_calls = s.D.enumerate_calls;
     allocated_mwords = mwords;
   }
 
@@ -195,9 +214,12 @@ type policy_point = {
   p_rollbacks : int;
   p_wall_seconds : float;
   p_commits_per_sec : float;
-  p_detect_seconds : float;
-  p_detect_share : float;
-  p_detect_calls : int;
+  p_check_seconds : float;
+  p_check_share : float;
+  p_check_calls : int;
+  p_enumerate_seconds : float;
+  p_enumerate_share : float;
+  p_enumerate_calls : int;
   p_detection_passes : int;
   p_watchdog_fires : int;
   p_max_blocked_ticks : int;
@@ -253,9 +275,13 @@ let run_policy ~detection ~contention ~txns ~outage =
     p_wall_seconds = wall;
     p_commits_per_sec =
       (if wall > 0.0 then float_of_int s.Scheduler.commits /. wall else nan);
-    p_detect_seconds = r.Sim.detect_seconds;
-    p_detect_share = (if wall > 0.0 then r.Sim.detect_seconds /. wall else nan);
-    p_detect_calls = r.Sim.detect_calls;
+    p_check_seconds = r.Sim.check_seconds;
+    p_check_share = (if wall > 0.0 then r.Sim.check_seconds /. wall else nan);
+    p_check_calls = r.Sim.check_calls;
+    p_enumerate_seconds = r.Sim.enumerate_seconds;
+    p_enumerate_share =
+      (if wall > 0.0 then r.Sim.enumerate_seconds /. wall else nan);
+    p_enumerate_calls = r.Sim.enumerate_calls;
     p_detection_passes = s.Scheduler.detection_passes;
     p_watchdog_fires = s.Scheduler.watchdog_fires;
     p_max_blocked_ticks = s.Scheduler.max_blocked_ticks;
@@ -342,7 +368,8 @@ let print_policy_table pts =
         ("deadlocks", Table.Right);
         ("wall s", Table.Right);
         ("speedup", Table.Right);
-        ("detect share", Table.Right);
+        ("check share", Table.Right);
+        ("enum share", Table.Right);
         ("passes", Table.Right);
         ("watchdog", Table.Right);
         ("max blocked", Table.Right);
@@ -359,8 +386,10 @@ let print_policy_table pts =
           Table.cell_int p.p_deadlocks;
           Table.cell_float ~decimals:3 p.p_wall_seconds;
           speedup_cell p;
-          (if Float.is_nan p.p_detect_share then "-"
-           else Table.cell_pct p.p_detect_share);
+          (if Float.is_nan p.p_check_share then "-"
+           else Table.cell_pct p.p_check_share);
+          (if Float.is_nan p.p_enumerate_share then "-"
+           else Table.cell_pct p.p_enumerate_share);
           Table.cell_int p.p_detection_passes;
           Table.cell_int p.p_watchdog_fires;
           Table.cell_int p.p_max_blocked_ticks;
@@ -383,7 +412,8 @@ let print_table points =
         ("deadlocks", Table.Right);
         ("wall s", Table.Right);
         ("commits/s", Table.Right);
-        ("detect share", Table.Right);
+        ("check share", Table.Right);
+        ("enum share", Table.Right);
         ("alloc Mw", Table.Right);
       ]
   in
@@ -399,8 +429,10 @@ let print_table points =
           Table.cell_int p.deadlocks;
           Table.cell_float ~decimals:3 p.wall_seconds;
           Table.cell_float ~decimals:1 p.commits_per_sec;
-          (if Float.is_nan p.detect_share then "-"
-           else Table.cell_pct p.detect_share);
+          (if Float.is_nan p.check_share then "-"
+           else Table.cell_pct p.check_share);
+          (if Float.is_nan p.enumerate_share then "-"
+           else Table.cell_pct p.enumerate_share);
           Table.cell_float ~decimals:1 p.allocated_mwords;
         ])
     points;
@@ -430,9 +462,13 @@ let point_to_json p =
       Printf.sprintf "\"rollbacks\": %d, " p.rollbacks;
       Printf.sprintf "\"wall_seconds\": %s, " (json_float p.wall_seconds);
       Printf.sprintf "\"commits_per_sec\": %s, " (json_float p.commits_per_sec);
-      Printf.sprintf "\"detect_seconds\": %s, " (json_float p.detect_seconds);
-      Printf.sprintf "\"detect_share\": %s, " (json_float p.detect_share);
-      Printf.sprintf "\"detect_calls\": %d, " p.detect_calls;
+      Printf.sprintf "\"check_seconds\": %s, " (json_float p.check_seconds);
+      Printf.sprintf "\"check_share\": %s, " (json_float p.check_share);
+      Printf.sprintf "\"check_calls\": %d, " p.check_calls;
+      Printf.sprintf "\"enumerate_seconds\": %s, "
+        (json_float p.enumerate_seconds);
+      Printf.sprintf "\"enumerate_share\": %s, " (json_float p.enumerate_share);
+      Printf.sprintf "\"enumerate_calls\": %d, " p.enumerate_calls;
       Printf.sprintf "\"allocated_mwords\": %s" (json_float p.allocated_mwords);
       "}";
     ]
@@ -452,9 +488,14 @@ let policy_point_to_json p =
       Printf.sprintf "\"wall_seconds\": %s, " (json_float p.p_wall_seconds);
       Printf.sprintf "\"commits_per_sec\": %s, "
         (json_float p.p_commits_per_sec);
-      Printf.sprintf "\"detect_seconds\": %s, " (json_float p.p_detect_seconds);
-      Printf.sprintf "\"detect_share\": %s, " (json_float p.p_detect_share);
-      Printf.sprintf "\"detect_calls\": %d, " p.p_detect_calls;
+      Printf.sprintf "\"check_seconds\": %s, " (json_float p.p_check_seconds);
+      Printf.sprintf "\"check_share\": %s, " (json_float p.p_check_share);
+      Printf.sprintf "\"check_calls\": %d, " p.p_check_calls;
+      Printf.sprintf "\"enumerate_seconds\": %s, "
+        (json_float p.p_enumerate_seconds);
+      Printf.sprintf "\"enumerate_share\": %s, "
+        (json_float p.p_enumerate_share);
+      Printf.sprintf "\"enumerate_calls\": %d, " p.p_enumerate_calls;
       Printf.sprintf "\"detection_passes\": %d, " p.p_detection_passes;
       Printf.sprintf "\"watchdog_fires\": %d, " p.p_watchdog_fires;
       Printf.sprintf "\"max_blocked_ticks\": %d" p.p_max_blocked_ticks;
@@ -466,6 +507,7 @@ let to_json ?(quick = false) ?(policies = []) points =
     ([
        "{";
        "  \"experiment\": \"E13\",";
+       Printf.sprintf "  \"schema_version\": %d," schema_version;
        "  \"description\": \"throughput scaling sweep: txns x contention, \
         both engines\",";
        Printf.sprintf "  \"quick\": %b," quick;
@@ -671,9 +713,12 @@ let point_of_json j =
     rollbacks = as_int (obj_field "rollbacks" j);
     wall_seconds = as_float (obj_field "wall_seconds" j);
     commits_per_sec = as_float (obj_field "commits_per_sec" j);
-    detect_seconds = as_float (obj_field "detect_seconds" j);
-    detect_share = as_float (obj_field "detect_share" j);
-    detect_calls = as_int (obj_field "detect_calls" j);
+    check_seconds = as_float (obj_field "check_seconds" j);
+    check_share = as_float (obj_field "check_share" j);
+    check_calls = as_int (obj_field "check_calls" j);
+    enumerate_seconds = as_float (obj_field "enumerate_seconds" j);
+    enumerate_share = as_float (obj_field "enumerate_share" j);
+    enumerate_calls = as_int (obj_field "enumerate_calls" j);
     allocated_mwords = as_float (obj_field "allocated_mwords" j);
   }
 
@@ -700,9 +745,12 @@ let policy_point_of_json j =
     p_rollbacks = as_int (obj_field "rollbacks" j);
     p_wall_seconds = as_float (obj_field "wall_seconds" j);
     p_commits_per_sec = as_float (obj_field "commits_per_sec" j);
-    p_detect_seconds = as_float (obj_field "detect_seconds" j);
-    p_detect_share = as_float (obj_field "detect_share" j);
-    p_detect_calls = as_int (obj_field "detect_calls" j);
+    p_check_seconds = as_float (obj_field "check_seconds" j);
+    p_check_share = as_float (obj_field "check_share" j);
+    p_check_calls = as_int (obj_field "check_calls" j);
+    p_enumerate_seconds = as_float (obj_field "enumerate_seconds" j);
+    p_enumerate_share = as_float (obj_field "enumerate_share" j);
+    p_enumerate_calls = as_int (obj_field "enumerate_calls" j);
     p_detection_passes = as_int (obj_field "detection_passes" j);
     p_watchdog_fires = as_int (obj_field "watchdog_fires" j);
     p_max_blocked_ticks = as_int (obj_field "max_blocked_ticks" j);
@@ -714,14 +762,33 @@ let read_file path =
     ~finally:(fun () -> close_in_noerr ic)
     (fun () -> really_input_string ic (in_channel_length ic))
 
+(* A file without the version field predates the check/enumerate split
+   (implicitly version 1): fail with a pointed message instead of a
+   puzzling "missing field check_seconds" from the first point. *)
+let check_schema j =
+  let v =
+    match obj_field_opt "schema_version" j with Some v -> as_int v | None -> 1
+  in
+  if v <> schema_version then
+    raise
+      (Parse_error
+         (Printf.sprintf
+            "schema_version %d, expected %d — regenerate the baseline with \
+             'prb bench --json BENCH_scale.json --policies'"
+            v schema_version))
+
 let load ~path =
-  List.map point_of_json
-    (as_list (obj_field "points" (parse_json (read_file path))))
+  let j = parse_json (read_file path) in
+  check_schema j;
+  List.map point_of_json (as_list (obj_field "points" j))
 
 let load_policies ~path =
-  match obj_field_opt "policy_points" (parse_json (read_file path)) with
+  let j = parse_json (read_file path) in
+  match obj_field_opt "policy_points" j with
   | None -> []
-  | Some l -> List.map policy_point_of_json (as_list l)
+  | Some l ->
+      check_schema j;
+      List.map policy_point_of_json (as_list l)
 
 let same_point a b =
   String.equal a.engine b.engine

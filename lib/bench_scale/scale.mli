@@ -21,13 +21,22 @@ type point = {
   rollbacks : int;
   wall_seconds : float;
   commits_per_sec : float;  (** throughput, commits per wall-clock second *)
-  detect_seconds : float;
-      (** wall-clock spent in deadlock detection/resolution (central
-          engine only; the multi-site engine is not clock-instrumented) *)
-  detect_share : float;  (** [detect_seconds /. wall_seconds]; [nan] if n/a *)
-  detect_calls : int;
+  check_seconds : float;
+      (** wall-clock spent in the boolean deadlock checks — would-deadlock
+          probes and cycle-membership censuses *)
+  check_share : float;  (** [check_seconds /. wall_seconds]; [nan] if n/a *)
+  check_calls : int;
+  enumerate_seconds : float;
+      (** wall-clock spent enumerating cycles for the resolver *)
+  enumerate_share : float;
+      (** [enumerate_seconds /. wall_seconds]; [nan] if n/a *)
+  enumerate_calls : int;
   allocated_mwords : float;  (** OCaml heap words allocated, in millions *)
 }
+
+val schema_version : int
+(** Version stamped into (and required of) [BENCH_scale.json]: bumped
+    when a field split or rename would make old baselines unreadable. *)
 
 val sweep : ?quick:bool -> unit -> point list
 (** Run the full grid: txns ∈ \{100, 1k, 5k\} (quick: \{100, 500\}) ×
@@ -57,9 +66,12 @@ type policy_point = {
   p_rollbacks : int;
   p_wall_seconds : float;
   p_commits_per_sec : float;
-  p_detect_seconds : float;
-  p_detect_share : float;
-  p_detect_calls : int;
+  p_check_seconds : float;
+  p_check_share : float;
+  p_check_calls : int;
+  p_enumerate_seconds : float;
+  p_enumerate_share : float;
+  p_enumerate_calls : int;
   p_detection_passes : int;  (** scheduled sweeps/probes that ran *)
   p_watchdog_fires : int;
   p_max_blocked_ticks : int;  (** longest completed blocking episode *)
@@ -93,7 +105,9 @@ val load : path:string -> point list
     parser for exactly this module's JSON; [null] floats round-trip as
     [nan]). Ignores any [policy_points] section, so baselines written
     before or after E14 load interchangeably. @raise Parse_error on
-    malformed input, [Sys_error] on an unreadable path. *)
+    malformed input, on a [schema_version] other than {!schema_version}
+    (a versionless file is implicitly version 1), or [Sys_error] on an
+    unreadable path. *)
 
 val load_policies : path:string -> policy_point list
 (** Read the E14 section back from a file written by {!write_json};

@@ -122,8 +122,15 @@ type t = {
           duplicate-free). *)
   mutable dirty_ids : int array;
   mutable n_dirty : int;
-  mutable detect_seconds : float;
-  mutable detect_calls : int;
+  mutable check_seconds : float;
+      (** wall time inside the boolean deadlock checks — [would_deadlock]
+          probes and [on_cycle_from] census passes — when the config
+          supplies a clock *)
+  mutable check_calls : int;
+  mutable enumerate_seconds : float;
+      (** wall time inside cycle enumeration ([cycles_through], the
+          resolver's input), when the config supplies a clock *)
+  mutable enumerate_calls : int;
   mutable blocked_since : int array;
       (** tick at which each currently-blocked transaction blocked ([-1]
           when untracked); feeds [Timeout_abort] timers, lazy probes, the
@@ -185,8 +192,10 @@ let create ?(config = default_config) store =
     wait_dirty = Array.make initial_txn_cap false;
     dirty_ids = Array.make 16 0;
     n_dirty = 0;
-    detect_seconds = 0.0;
-    detect_calls = 0;
+    check_seconds = 0.0;
+    check_calls = 0;
+    enumerate_seconds = 0.0;
+    enumerate_calls = 0;
     blocked_since = Array.make initial_txn_cap (-1);
     n_blocked = 0;
     lazy_false = Array.make initial_txn_cap 0;
@@ -287,8 +296,10 @@ let all_committed t = t.commits = t.next_id
 let waits_for t = t.wfg
 let lock_table t = t.locks
 let history t = t.hist
-let detection_seconds t = t.detect_seconds
-let detection_calls t = t.detect_calls
+let check_seconds t = t.check_seconds
+let check_calls t = t.check_calls
+let enumerate_seconds t = t.enumerate_seconds
+let enumerate_calls t = t.enumerate_calls
 let n_blocked_tracked t = t.n_blocked
 
 let schedule t id =
@@ -400,9 +411,18 @@ let[@lint.allow
   let limit =
     match limit with Some l -> min l t.cfg.cycle_limit | None -> t.cfg.cycle_limit
   in
-  let raw = Waits_for.cycles_through ~limit t.wfg requester in
+  t.enumerate_calls <- t.enumerate_calls + 1;
+  let raw =
+    match t.cfg.clock with
+    | None -> Waits_for.cycles_through ~limit t.wfg requester
+    | Some clk ->
+        let t0 = clk () in
+        let r = Waits_for.cycles_through ~limit t.wfg requester in
+        t.enumerate_seconds <- t.enumerate_seconds +. (clk () -. t0);
+        r
+  in
   let label u v =
-    match List.assoc_opt v (Waits_for.waits t.wfg u) with
+    match Waits_for.wait_label t.wfg u v with
     | Some e -> e
     | None -> raise (Stuck "waits-for edge vanished during resolution")
   in
@@ -709,13 +729,30 @@ let[@lint.allow
       resolve_round t ~deferred requester cycles;
       true
 
+(* The cycle-membership census is the "check" half of the detection
+   accounting — the boolean question "is anyone deadlocked?" — as opposed
+   to the cycle enumeration the resolver consumes, which bills to the
+   enumerate counters inside [resolver_cycles]. *)
+let[@lint.allow
+     "A1: check wall-clock accounting boxes floats only when a clock is \
+      configured; the census list is the detector's report"] checked_on_cycle
+    t seeds =
+  t.check_calls <- t.check_calls + 1;
+  match t.cfg.clock with
+  | None -> Waits_for.on_cycle_from t.wfg seeds
+  | Some clk ->
+      let t0 = clk () in
+      let r = Waits_for.on_cycle_from t.wfg seeds in
+      t.check_seconds <- t.check_seconds +. (clk () -. t0);
+      r
+
 let rec rd_fixpoint t ~deferred primary round =
   if round > 1000 then raise (Stuck "deadlock resolution did not converge");
   rd_sort_dirty t;
   match rd_seeds t (t.n_dirty - 1) [] with
   | [] -> rd_converged t
   | seeds -> (
-      match Waits_for.on_cycle_from t.wfg seeds with
+      match checked_on_cycle t seeds with
       | [] -> rd_converged t
       | on_cycle ->
           if rd_round t ~deferred primary on_cycle then
@@ -736,7 +773,7 @@ let resolve_probe t id =
   while !continue_ do
     incr round;
     if !round > 1000 then raise (Stuck "probe resolution did not converge");
-    match Waits_for.on_cycle_from t.wfg [ id ] with
+    match checked_on_cycle t [ id ] with
     | [] -> continue_ := false
     | on_cycle -> (
         let requester =
@@ -754,21 +791,16 @@ let resolve_probe t id =
   done;
   !found
 
-(* A full detection sweep (periodic/adaptive tick or watchdog): one
-   clock-wrapped run of the global fixpoint. Returns whether it found any
-   deadlock, which drives the adaptive cadence. *)
+(* A full detection sweep (periodic/adaptive tick or watchdog): one run
+   of the global fixpoint, whose check/enumerate cost bills itself at the
+   waits-for call sites. Returns whether it found any deadlock, which
+   drives the adaptive cadence. *)
 let[@lint.allow
-     "A1: a full detection sweep is scheduled work off the request path; \
-      its wall-clock accounting boxes floats only when a clock is \
-      configured"] run_sweep t =
+     "A1: a full detection sweep is scheduled work off the request \
+      path"] run_sweep t =
   t.detection_passes <- t.detection_passes + 1;
-  t.detect_calls <- t.detect_calls + 1;
   let before = t.deadlocks in
-  let t0 = match t.cfg.clock with Some clk -> clk () | None -> 0.0 in
   resolve_deadlocks t ~deferred:true None;
-  (match t.cfg.clock with
-  | Some clk -> t.detect_seconds <- t.detect_seconds +. clk () -. t0
-  | None -> ());
   t.last_detect_tick <- t.tick;
   t.deadlocks > before
 
@@ -905,22 +937,30 @@ let handle_lock_request t id mode e =
           match t.cfg.detection with
           | Detection_policy.Eager ->
               (* Edges installed; a deadlock exists iff some blocker
-                 reaches the waiter (Section 3.1's descendant check). *)
-              t.detect_calls <- t.detect_calls + 1;
-              let t0 =
-                match t.cfg.clock with Some clk -> clk () | None -> 0.0
+                 reaches the waiter (Section 3.1's descendant check).
+                 Only the boolean probe itself is a "check" — resolution
+                 bills its enumeration to the enumerate counters and its
+                 rollback work to nobody. *)
+              t.check_calls <- t.check_calls + 1;
+              let deadlock =
+                (match t.cfg.clock with
+                | None -> Waits_for.would_deadlock t.wfg ~waiter:id ~holders
+                | Some clk ->
+                    let t0 = clk () in
+                    let r =
+                      Waits_for.would_deadlock t.wfg ~waiter:id ~holders
+                    in
+                    t.check_seconds <- t.check_seconds +. (clk () -. t0);
+                    r)
+                [@lint.allow
+                  "A1: check wall-clock accounting boxes floats only \
+                   when a clock is configured"]
               in
-              if Waits_for.would_deadlock t.wfg ~waiter:id ~holders then
+              if deadlock then
                 (resolve_deadlocks t ~deferred:false (Some id)
                  [@lint.allow
                    "A1: a detected deadlock hands the requester to \
-                    resolution, which allocates by design"]);
-              (match t.cfg.clock with
-              | Some clk -> t.detect_seconds <- t.detect_seconds +. clk () -. t0
-              | None -> ())
-              [@lint.allow
-                "A1: detection wall-clock accounting boxes floats only \
-                 when a clock is configured"]
+                    resolution, which allocates by design"])
           | Detection_policy.Periodic _ | Detection_policy.Adaptive ->
               (* the request path pays nothing; the sweep chain detects *)
               ()
@@ -1077,14 +1117,7 @@ let[@lint.allow
         end
         else begin
           t.detection_passes <- t.detection_passes + 1;
-          t.detect_calls <- t.detect_calls + 1;
-          let t0 =
-            match t.cfg.clock with Some clk -> clk () | None -> 0.0
-          in
           let found = resolve_probe t id in
-          (match t.cfg.clock with
-          | Some clk -> t.detect_seconds <- t.detect_seconds +. clk () -. t0
-          | None -> ());
           if found then begin
             t.lazy_false.(id) <- 0;
             (* resolution may have left [id] blocked (it survived as a

@@ -80,10 +80,11 @@ type config = {
           service — and is unaffected *)
   clock : (unit -> float) option;
       (** when set (e.g. to [Unix.gettimeofday]), wall-clock seconds spent
-          in deadlock detection and resolution are accumulated and
-          reported by {!detection_seconds}; [None] (default) keeps the
-          request path free of clock calls. Never affects scheduling
-          decisions, so runs stay bit-for-bit deterministic either way *)
+          in deadlock detection are accumulated and reported by
+          {!check_seconds} and {!enumerate_seconds}; [None] (default)
+          keeps the request path free of clock calls. Never affects
+          scheduling decisions, so runs stay bit-for-bit deterministic
+          either way *)
 }
 
 val default_config : config
@@ -139,14 +140,27 @@ val lock_table : t -> Prb_lock.Lock_table.t
 
 val history : t -> Prb_history.History.t
 
-val detection_seconds : t -> float
-(** Wall-clock seconds spent inside the deadlock check and resolution
-    fixpoint, when {!config}[.clock] is set; [0.] otherwise. The
-    benchmark harness uses this for the detection-time share. *)
+val check_seconds : t -> float
+(** Wall-clock seconds spent inside the boolean deadlock checks — the
+    [would_deadlock] probe of a blocked request and the cycle-membership
+    census seeding each resolution round — when {!config}[.clock] is set;
+    [0.] otherwise. The benchmark harness reports this (with
+    {!enumerate_seconds}) as the detection-time share; victim selection
+    and rollback application are deliberately excluded. *)
 
-val detection_calls : t -> int
-(** Deadlock checks actually run: blocked requests under [Eager], sweeps
-    and probes under the deferred policies. *)
+val check_calls : t -> int
+(** Boolean deadlock checks actually run: [would_deadlock] probes under
+    [Eager] plus the census pass seeding each fixpoint round of sweeps
+    and probes. *)
+
+val enumerate_seconds : t -> float
+(** Wall-clock seconds spent enumerating the cycles a detected deadlock
+    hands to the resolver, when {!config}[.clock] is set; [0.]
+    otherwise. *)
+
+val enumerate_calls : t -> int
+(** Cycle enumerations run (one per resolution attempt that got past the
+    boolean check). *)
 
 val n_blocked_tracked : t -> int
 (** Size of the internal blocked-since table (every currently-blocked
@@ -178,7 +192,7 @@ type stats = {
   txn_crashes : int;  (** fault-plan transaction crashes that hit a victim *)
   detection_passes : int;
       (** scheduled sweeps and lazy probes run (0 under [Eager], whose
-          checks count only in {!detection_calls}) *)
+          checks count only in {!check_calls}) *)
   watchdog_fires : int;  (** full sweeps forced by the stall watchdog *)
   starvation_fallbacks : int;
       (** resolutions where a cycle offered no non-immune victim and the

@@ -42,7 +42,8 @@ type config = {
   faults : Fault.plan option;
   clock : (unit -> float) option;
       (** wall-clock source for the detection-cost accounting
-          ({!stats.detect_seconds}); [None] (default) records zero *)
+          ({!stats.check_seconds}/{!stats.enumerate_seconds}); [None]
+          (default) records zero *)
 }
 
 (* The default victim policy differs from the centralised engine's:
@@ -153,10 +154,14 @@ type t = {
   mutable starvation_fallbacks : int;
   mutable max_blocked_ticks : int;
   mutable total_blocked_ticks : int;
-  mutable detect_seconds : float;
-      (** wall time inside detection (local block-time checks and global
+  mutable check_seconds : float;
+      (** wall time inside the block-time would-deadlock probes, when the
+          config supplies a clock *)
+  mutable check_calls : int;
+  mutable enumerate_seconds : float;
+      (** wall time enumerating cycles for the resolver (local and global
           rounds), when the config supplies a clock *)
-  mutable detect_calls : int;
+  mutable enumerate_calls : int;
 }
 
 let default_site_of n_sites e =
@@ -225,8 +230,10 @@ let create ?site_of config store =
       starvation_fallbacks = 0;
       max_blocked_ticks = 0;
       total_blocked_ticks = 0;
-      detect_seconds = 0.0;
-      detect_calls = 0;
+      check_seconds = 0.0;
+      check_calls = 0;
+      enumerate_seconds = 0.0;
+      enumerate_calls = 0;
     }
   in
   (match config.detection with
@@ -565,9 +572,20 @@ let apply_rollback ?(deferred = false) ?(stagger = 0) t v entities =
 (* --- Cycle detection ------------------------------------------------- *)
 
 let resolver_cycles t requester =
-  let raw = Waits_for.cycles_through ~limit:t.cfg.cycle_limit t.wfg requester in
+  t.enumerate_calls <- t.enumerate_calls + 1;
+  let raw =
+    match t.cfg.clock with
+    | None -> Waits_for.cycles_through ~limit:t.cfg.cycle_limit t.wfg requester
+    | Some clk ->
+        let t0 = clk () in
+        let r =
+          Waits_for.cycles_through ~limit:t.cfg.cycle_limit t.wfg requester
+        in
+        t.enumerate_seconds <- t.enumerate_seconds +. (clk () -. t0);
+        r
+  in
   let label u v =
-    match List.assoc_opt v (Waits_for.waits t.wfg u) with
+    match Waits_for.wait_label t.wfg u v with
     | Some e -> e
     | None -> raise (Stuck "waits-for edge vanished during resolution")
   in
@@ -634,20 +652,23 @@ let rec resolve_local t requester round =
     end
   end
 
-(* Block-time detection under the cost clock: the would-deadlock probe
-   plus any instant local resolution it triggers count as one detection
-   call, timed when the config supplies a clock. *)
+(* Block-time detection under the cost clock: only the boolean
+   would-deadlock probe is a "check"; a local resolution it triggers
+   bills its cycle enumeration to the enumerate counters inside
+   [resolver_cycles] (victim selection and rollback application are
+   resolution, not detection, and stay untimed). *)
 let local_check t id ~holders =
-  t.detect_calls <- t.detect_calls + 1;
-  match t.cfg.clock with
-  | None ->
-      if Waits_for.would_deadlock t.wfg ~waiter:id ~holders then
-        resolve_local t id 0
-  | Some clk ->
-      let t0 = clk () in
-      if Waits_for.would_deadlock t.wfg ~waiter:id ~holders then
-        resolve_local t id 0;
-      t.detect_seconds <- t.detect_seconds +. (clk () -. t0)
+  t.check_calls <- t.check_calls + 1;
+  let hit =
+    match t.cfg.clock with
+    | None -> Waits_for.would_deadlock t.wfg ~waiter:id ~holders
+    | Some clk ->
+        let t0 = clk () in
+        let r = Waits_for.would_deadlock t.wfg ~waiter:id ~holders in
+        t.check_seconds <- t.check_seconds +. (clk () -. t0);
+        r
+  in
+  if hit then resolve_local t id 0
 
 let blocked_txns t =
   List.filter (fun id -> Waits_for.is_blocked t.wfg id) (Waits_for.txns t.wfg)
@@ -659,8 +680,6 @@ let blocked_txns t =
    cycles survive to the next round. *)
 let run_global_detection t =
   t.detection_rounds <- t.detection_rounds + 1;
-  t.detect_calls <- t.detect_calls + 1;
-  let t0 = match t.cfg.clock with Some clk -> clk () | None -> 0.0 in
   let cycle_visible =
     match t.faults with
     | None ->
@@ -698,10 +717,7 @@ let run_global_detection t =
           t requester cycles;
         fixpoint ()
   in
-  fixpoint ();
-  match t.cfg.clock with
-  | Some clk -> t.detect_seconds <- t.detect_seconds +. (clk () -. t0)
-  | None -> ()
+  fixpoint ()
 
 (* Detector outage: no global rounds run; long-blocked transactions are
    timeout-aborted instead (graceful degradation — cross-site cycles
@@ -1205,10 +1221,14 @@ type stats = {
   max_blocked_ticks : int;
   total_blocked_ticks : int;
   max_txn_rollbacks : int;
-  detect_seconds : float;
-      (** wall time inside detection (block-time local checks plus global
-          rounds); 0 unless the config supplies a {!config.clock} *)
-  detect_calls : int;  (** detection invocations, local and global *)
+  check_seconds : float;
+      (** wall time inside the block-time would-deadlock probes; 0 unless
+          the config supplies a {!config.clock} *)
+  check_calls : int;  (** would-deadlock probes run at block time *)
+  enumerate_seconds : float;
+      (** wall time enumerating cycles for the resolver, local checks and
+          global rounds alike; 0 unless the config supplies a clock *)
+  enumerate_calls : int;  (** cycle enumerations run *)
 }
 
 let stats t =
@@ -1246,8 +1266,10 @@ let stats t =
       Util.fold_sorted Txn_id.compare
         (fun _ n acc -> max acc n)
         t.rollback_counts 0;
-    detect_seconds = t.detect_seconds;
-    detect_calls = t.detect_calls;
+    check_seconds = t.check_seconds;
+    check_calls = t.check_calls;
+    enumerate_seconds = t.enumerate_seconds;
+    enumerate_calls = t.enumerate_calls;
   }
 
 let pp_stats ppf s =

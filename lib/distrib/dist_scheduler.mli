@@ -92,9 +92,9 @@ type config = {
           site crashes, message faults and detector outages *)
   clock : (unit -> float) option;
       (** wall-clock source for the detection-cost accounting
-          ({!stats.detect_seconds}); [None] (default) records zero.
-          Orthogonal to determinism: the clock only feeds the cost
-          counters, never control flow *)
+          ({!stats.check_seconds}/{!stats.enumerate_seconds}); [None]
+          (default) records zero. Orthogonal to determinism: the clock
+          only feeds the cost counters, never control flow *)
 }
 
 val default_config : config
@@ -183,10 +183,15 @@ type stats = {
       (** rollbacks suffered by the worst-hit transaction — bounded by
           [starvation_limit] plus degraded-mode forced restarts whenever
           [starvation_fallbacks] is 0 *)
-  detect_seconds : float;
-      (** wall time inside detection (block-time local checks plus global
-          rounds); 0 unless the config supplies a {!config.clock} *)
-  detect_calls : int;  (** detection invocations, local and global *)
+  check_seconds : float;
+      (** wall time inside the block-time would-deadlock probes; 0 unless
+          the config supplies a {!config.clock} *)
+  check_calls : int;  (** would-deadlock probes run at block time *)
+  enumerate_seconds : float;
+      (** wall time enumerating cycles for the resolver, block-time local
+          checks and global rounds alike; 0 unless the config supplies a
+          clock *)
+  enumerate_calls : int;  (** cycle enumerations run *)
 }
 
 val stats : t -> stats

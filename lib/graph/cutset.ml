@@ -8,71 +8,246 @@ let is_cut t set =
   let s = Iset.of_list set in
   List.for_all (fun cycle -> List.exists (fun v -> Iset.mem v s) cycle) t.cycles
 
-let candidate_vertices t =
-  List.fold_left (fun acc c -> List.fold_left (fun a v -> Iset.add v a) acc c)
-    Iset.empty t.cycles
-  |> Iset.elements
+(* Both solvers run on a prepared flat form of the instance: candidate
+   vertices deduped ascending, the cost function evaluated once per
+   candidate (it is pure but arbitrarily expensive — the resolver's cost
+   walks rollback targets per call, so memoising it here is the bulk of
+   the E13 high-contention win), and per-candidate bitmasks over the
+   cycle list so "which cycles does this set hit" is word-parallel
+   instead of a list scan per (vertex, cycle) pair. Search order, tie
+   breaks and the float pruning epsilons are exactly the original
+   list/Iset solver's, so every decision — including which of several
+   optima is found first, and the node at which the budget trips — is
+   unchanged. *)
+type prep = {
+  verts : int array;  (* candidate vertex ids, ascending *)
+  costs : float array;  (* costs.(i) = cost verts.(i) *)
+  ncyc : int;
+  nwords : int;  (* words of 63 bits covering the cycle list *)
+  vmask : int array array;  (* vmask.(i): cycles containing verts.(i) *)
+  vert_cycs : int array array;  (* per candidate: cycle indices, ascending *)
+  cyc_verts : int array array;  (* per cycle: candidate indices, ascending *)
+  full : int array;  (* mask with one bit per cycle *)
+}
 
-(* Cycles not yet hit by [chosen]. *)
-let surviving t chosen =
-  List.filter (fun c -> not (List.exists (fun v -> Iset.mem v chosen) c)) t.cycles
+let rec popcount_ x acc =
+  if x = 0 then acc else popcount_ (x land (x - 1)) (acc + 1)
 
-let greedy t =
-  let rec loop chosen =
-    match surviving t chosen with
-    | [] -> Iset.elements chosen
-    | alive ->
-        let verts = candidate_vertices { t with cycles = alive } in
-        let score v =
-          let hits =
-            List.length (List.filter (List.exists (fun w -> w = v)) alive)
-          in
-          let c = t.cost v in
-          (* Best hits-per-cost; guard against zero-cost vertices. *)
-          float_of_int hits /. Float.max c 1e-9
-        in
-        let best =
-          List.fold_left
-            (fun acc v ->
-              match acc with
-              | None -> Some (v, score v)
-              | Some (_, s) as keep ->
-                  let sv = score v in
-                  if sv > s +. 1e-12 then Some (v, sv) else keep)
-            None verts
-        in
-        (match best with
-        | None -> Iset.elements chosen (* unreachable: alive cycles non-empty *)
-        | Some (v, _) -> loop (Iset.add v chosen))
+let popcount x = popcount_ x 0
+
+let rec vert_index_ (verts : int array) v lo hi =
+  if lo >= hi then lo
+  else
+    let mid = (lo + hi) / 2 in
+    if verts.(mid) < v then vert_index_ verts v (mid + 1) hi
+    else vert_index_ verts v lo mid
+
+let vert_index verts v = vert_index_ verts v 0 (Array.length verts)
+
+(* Shift-insert [v] into the sorted prefix [a.(0..n-1)]; returns the new
+   prefix length. The candidate sets here are tiny (bounded by the
+   multiprogramming level) while the cycle stream is long, so binary
+   search plus an occasional shift beats a comparison sort of the whole
+   stream. *)
+let sorted_insert_distinct (a : int array) n v =
+  let p = vert_index_ a v 0 n in
+  if p < n && a.(p) = v then n
+  else begin
+    Array.blit a p a (p + 1) (n - p);
+    a.(p) <- v;
+    n + 1
+  end
+
+let prepare t =
+  let ncyc = List.length t.cycles in
+  let nwords = max 1 ((ncyc + 62) / 63) in
+  (* Flatten the cycle lists once: vertex ids into one buffer with cycle
+     boundaries, accumulating the sorted distinct candidate set as the
+     stream goes by. *)
+  let total = List.fold_left (fun acc c -> acc + List.length c) 0 t.cycles in
+  let flat = Array.make (max 1 total) 0 in
+  let bounds = Array.make (ncyc + 1) 0 in
+  let cand = Array.make (max 1 total) 0 in
+  let ncand = ref 0 in
+  let pos = ref 0 in
+  List.iteri
+    (fun c cycle ->
+      bounds.(c) <- !pos;
+      List.iter
+        (fun v ->
+          flat.(!pos) <- v;
+          incr pos;
+          ncand := sorted_insert_distinct cand !ncand v)
+        cycle;
+      bounds.(c + 1) <- !pos)
+    t.cycles;
+  let ncand = !ncand in
+  let verts = Array.sub cand 0 ncand in
+  let costs = Array.init ncand (fun i -> t.cost verts.(i)) in
+  let vmask = Array.init ncand (fun _ -> Array.make nwords 0) in
+  let cyc_verts =
+    let buf = Array.make (max 1 ncand) 0 in
+    Array.init ncyc (fun c ->
+        let m = ref 0 in
+        for k = bounds.(c) to bounds.(c + 1) - 1 do
+          m := sorted_insert_distinct buf !m (vert_index verts flat.(k))
+        done;
+        let members = Array.sub buf 0 !m in
+        Array.iter
+          (fun i ->
+            vmask.(i).(c / 63) <- vmask.(i).(c / 63) lor (1 lsl (c mod 63)))
+          members;
+        members)
   in
-  loop Iset.empty
+  let vert_cycs =
+    Array.init ncand (fun i ->
+        let acc = ref [] in
+        for c = ncyc - 1 downto 0 do
+          if vmask.(i).(c / 63) land (1 lsl (c mod 63)) <> 0 then
+            acc := c :: !acc
+        done;
+        Array.of_list !acc)
+  in
+  let full = Array.make nwords 0 in
+  for c = 0 to ncyc - 1 do
+    full.(c / 63) <- full.(c / 63) lor (1 lsl (c mod 63))
+  done;
+  { verts; costs; ncyc; nwords; vmask; vert_cycs; cyc_verts; full }
+
+(* Cycles hit by candidate [i] among the still-alive cycles. *)
+let hits_alive p covered i =
+  let n = ref 0 in
+  for w = 0 to p.nwords - 1 do
+    n := !n + popcount (p.vmask.(i).(w) land lnot covered.(w))
+  done;
+  !n
+
+let all_covered p covered =
+  let ok = ref true in
+  for w = 0 to p.nwords - 1 do
+    if covered.(w) land p.full.(w) <> p.full.(w) then ok := false
+  done;
+  !ok
+
+(* Index of the first cycle not hit by the chosen set, or [-1]. The cycle
+   list order is the branching order of the original solver, so it must
+   be the lowest cycle index, not just any uncovered one. *)
+let first_surviving p covered =
+  let r = ref (-1) in
+  let w = ref 0 in
+  while !r < 0 && !w < p.nwords do
+    let miss = p.full.(!w) land lnot covered.(!w) in
+    if miss <> 0 then begin
+      let bit = ref 0 in
+      while miss land (1 lsl !bit) = 0 do
+        incr bit
+      done;
+      r := (!w * 63) + !bit
+    end;
+    incr w
+  done;
+  !r
+
+let chosen_elements p chosen =
+  let acc = ref [] in
+  for i = Array.length p.verts - 1 downto 0 do
+    if chosen.(i) then acc := p.verts.(i) :: !acc
+  done;
+  !acc
+
+(* Greedy hitting set over the prepared instance; identical pick sequence
+   to the classic fold: candidates of the alive cycles ascending, a
+   strictly-better-by-1e-12 score replaces, so the lowest vertex wins
+   ties. *)
+let greedy_prepared p =
+  let ncand = Array.length p.verts in
+  let chosen = Array.make ncand false in
+  let covered = Array.make p.nwords 0 in
+  let rec loop () =
+    if not (all_covered p covered) then begin
+      let best = ref (-1) in
+      let best_score = ref 0.0 in
+      for i = 0 to ncand - 1 do
+        let hits = hits_alive p covered i in
+        if hits > 0 then begin
+          let score = float_of_int hits /. Float.max p.costs.(i) 1e-9 in
+          if !best < 0 || score > !best_score +. 1e-12 then begin
+            best := i;
+            best_score := score
+          end
+        end
+      done;
+      (* [best < 0] would mean an alive cycle with no members: impossible
+         (cycles are non-empty vertex lists). *)
+      if !best >= 0 then begin
+        chosen.(!best) <- true;
+        for w = 0 to p.nwords - 1 do
+          covered.(w) <- covered.(w) lor p.vmask.(!best).(w)
+        done;
+        loop ()
+      end
+    end
+  in
+  loop ();
+  chosen_elements p chosen
+
+let greedy t = greedy_prepared (prepare t)
 
 exception Budget_exhausted
 
 let exact ?(node_budget = 1_000_000) t =
   (* Branch and bound on the first surviving cycle: one branch per vertex of
      that cycle. Upper bound initialised by the greedy solution. *)
-  let best_set = ref (greedy t) in
-  let best_cost = ref (total_cost t !best_set) in
+  let p = prepare t in
+  let ncand = Array.length p.verts in
+  let greedy_set = greedy_prepared p in
+  let best_set = ref greedy_set in
+  let best_cost =
+    ref (List.fold_left (fun acc v -> acc +. t.cost v) 0.0 greedy_set)
+  in
   let nodes = ref 0 in
-  let rec search chosen chosen_cost =
+  let chosen = Array.make ncand false in
+  let covered = Array.make p.nwords 0 in
+  (* Per-cycle hit counts back the covered bitmap out on backtrack: a
+     cycle's bit clears only when its last chosen member leaves. *)
+  let hit_count = Array.make (max 1 p.ncyc) 0 in
+  let add i =
+    chosen.(i) <- true;
+    Array.iter
+      (fun c ->
+        hit_count.(c) <- hit_count.(c) + 1;
+        if hit_count.(c) = 1 then
+          covered.(c / 63) <- covered.(c / 63) lor (1 lsl (c mod 63)))
+      p.vert_cycs.(i)
+  in
+  let remove i =
+    chosen.(i) <- false;
+    Array.iter
+      (fun c ->
+        hit_count.(c) <- hit_count.(c) - 1;
+        if hit_count.(c) = 0 then
+          covered.(c / 63) <- covered.(c / 63) land lnot (1 lsl (c mod 63)))
+      p.vert_cycs.(i)
+  in
+  let rec search chosen_cost =
     incr nodes;
     if !nodes > node_budget then raise Budget_exhausted;
-    if chosen_cost < !best_cost -. 1e-12 then
-      match surviving t chosen with
-      | [] ->
-          best_set := Iset.elements chosen;
+    if chosen_cost < !best_cost -. 1e-12 then begin
+      match first_surviving p covered with
+      | -1 ->
+          best_set := chosen_elements p chosen;
           best_cost := chosen_cost
-      | cycle :: _ ->
-          (* Branch on each vertex of the cheapest-to-describe cycle;
-             dedupe and ascend for determinism. *)
-          let verts = Iset.elements (Iset.of_list cycle) in
-          List.iter
-            (fun v ->
-              if not (Iset.mem v chosen) then
-                search (Iset.add v chosen) (chosen_cost +. t.cost v))
-            verts
+      | cyc ->
+          Array.iter
+            (fun i ->
+              if not chosen.(i) then begin
+                add i;
+                search (chosen_cost +. p.costs.(i));
+                remove i
+              end)
+            p.cyc_verts.(cyc)
+    end
   in
-  match search Iset.empty 0.0 with
+  match search 0.0 with
   | () -> Some !best_set
   | exception Budget_exhausted -> None

@@ -16,8 +16,10 @@ type result = {
   serializable : bool;
   peak_copies : int;
   store_installs : int;
-  detect_seconds : float;
-  detect_calls : int;
+  check_seconds : float;
+  check_calls : int;
+  enumerate_seconds : float;
+  enumerate_calls : int;
 }
 
 let run ?(config = default_config) ~store programs =
@@ -70,8 +72,10 @@ let run ?(config = default_config) ~store programs =
     serializable = History.serializable (Scheduler.history sched);
     peak_copies = stats.Scheduler.peak_copies;
     store_installs = Store.install_count store;
-    detect_seconds = Scheduler.detection_seconds sched;
-    detect_calls = Scheduler.detection_calls sched;
+    check_seconds = Scheduler.check_seconds sched;
+    check_calls = Scheduler.check_calls sched;
+    enumerate_seconds = Scheduler.enumerate_seconds sched;
+    enumerate_calls = Scheduler.enumerate_calls sched;
   }
 
 let run_generated ?config ~params ~seed ~n_txns () =
@@ -139,8 +143,10 @@ module Open = struct
         serializable = History.serializable (Scheduler.history sched);
         peak_copies = stats.Scheduler.peak_copies;
         store_installs = Store.install_count store;
-        detect_seconds = Scheduler.detection_seconds sched;
-        detect_calls = Scheduler.detection_calls sched;
+        check_seconds = Scheduler.check_seconds sched;
+        check_calls = Scheduler.check_calls sched;
+        enumerate_seconds = Scheduler.enumerate_seconds sched;
+        enumerate_calls = Scheduler.enumerate_calls sched;
       }
     in
     let pct p =

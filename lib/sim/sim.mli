@@ -22,10 +22,15 @@ type result = {
   serializable : bool;
   peak_copies : int;
   store_installs : int;
-  detect_seconds : float;
-      (** wall-clock seconds spent in deadlock detection/resolution when
-          the scheduler config carries a [clock]; [0.] otherwise *)
-  detect_calls : int;  (** blocked requests that ran the deadlock check *)
+  check_seconds : float;
+      (** wall-clock seconds spent in the boolean deadlock checks
+          (would-deadlock probes, cycle-membership censuses) when the
+          scheduler config carries a [clock]; [0.] otherwise *)
+  check_calls : int;  (** boolean deadlock checks run *)
+  enumerate_seconds : float;
+      (** wall-clock seconds spent enumerating cycles for the resolver
+          when the scheduler config carries a [clock]; [0.] otherwise *)
+  enumerate_calls : int;  (** cycle enumerations run *)
 }
 
 val run :

@@ -35,6 +35,11 @@ val clear_wait : t -> txn -> unit
 val waits : t -> txn -> (txn * entity) list
 (** Current out-edges of a transaction, sorted by holder id. *)
 
+val wait_label : t -> txn -> txn -> entity option
+(** Entity labelling the arc [waiter -> holder], if the edge is present.
+    Allocation-free (one membership scan plus an array read) — the
+    resolver relabels every arc of every enumerated cycle through this. *)
+
 val waiting_on : t -> txn -> (txn * entity) list
 (** In-edges: who waits for this transaction, sorted by waiter id. *)
 

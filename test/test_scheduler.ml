@@ -360,8 +360,12 @@ let test_dirty_set_fixpoint_contended () =
   checkb "deadlocks actually happened" true (s.Scheduler.deadlocks > 0);
   checkb "serializable" true (History.serializable (Scheduler.history sched));
   checkb "every lock request was checked" true
-    (Scheduler.detection_calls sched > 0);
-  checkb "no clock, no seconds" true (Scheduler.detection_seconds sched = 0.);
+    (Scheduler.check_calls sched > 0);
+  checkb "deadlocks enumerated cycles" true
+    (Scheduler.enumerate_calls sched > 0);
+  checkb "no clock, no seconds" true
+    (Scheduler.check_seconds sched = 0.
+    && Scheduler.enumerate_seconds sched = 0.);
   (* deterministic fake clock: each reading advances by 1ms *)
   let ticks = ref 0. in
   let fake () = ticks := !ticks +. 0.001; !ticks in
@@ -374,7 +378,8 @@ let test_dirty_set_fixpoint_contended () =
   checki "clock does not change scheduling: ticks" s.Scheduler.ticks
     t.Scheduler.ticks;
   checkb "instrumented time accumulated" true
-    (Scheduler.detection_seconds timed > 0.)
+    (Scheduler.check_seconds timed > 0.
+    && Scheduler.enumerate_seconds timed > 0.)
 
 let test_blocked_since_no_leak () =
   (* blocked_since entries must be dropped on commit, not only on abort,

@@ -168,6 +168,75 @@ let qcheck_dense_vs_reference =
           && agree ())
         script)
 
+(* qcheck: the Pearce–Kelly dynamic order under adversarial churn. The
+   script allows everything the schedulers do and more: re-blocking an
+   already blocked waiter (edge replacement), closing cycles and leaving
+   them live across steps (the order freezes and queries must fall back),
+   dissolving them again by clears/removes (the violation count must
+   return to zero and the bounded fast path must be exact again). Every
+   observable is compared against the Digraph-backed reference after
+   every step, including the cycle enumerations the resolver consumes and
+   a full-census acyclicity probe that would catch a violation counter
+   stuck at zero (fast path answering from a stale order) or above it
+   (needless fallback is invisible here, but a corrupted order is not
+   once the count drops back). *)
+let qcheck_dynamic_order_vs_reference =
+  let module R = Prb_wfg.Waits_for_ref in
+  QCheck.Test.make ~name:"dynamic topological order matches reference"
+    ~count:200
+    QCheck.(
+      list_of_size Gen.(0 -- 25)
+        (triple (int_bound 3) (int_range 0 9)
+           (list_of_size Gen.(0 -- 2) (int_range 0 9))))
+    (fun script ->
+      let g = W.create () and r = R.create () in
+      let ids = List.init 10 Fun.id in
+      let agree step =
+        W.txns g = R.txns r
+        && W.edges g = R.edges r
+        && W.is_exclusive_forest g = R.is_exclusive_forest r
+        && W.on_cycle_from g ids = R.on_cycle_from r ids
+        && List.for_all
+             (fun i ->
+               W.waits g i = R.waits r i
+               && W.waiting_on g i = R.waiting_on r i
+               && W.is_blocked g i = R.is_blocked r i
+               && W.cycles_through ~limit:64 g i
+                  = R.cycles_through ~limit:64 r i
+               && (* pure probe: every id as hypothetical waiter on the
+                     step's operand set *)
+               let holders =
+                 List.filter (fun h -> h <> i) (step : int list)
+               in
+               holders = []
+               || W.would_deadlock g ~waiter:i ~holders
+                  = R.would_deadlock r ~waiter:i ~holders)
+             ids
+      in
+      List.for_all
+        (fun (op, id, others) ->
+          (match op with
+          | 0 ->
+              let holders =
+                List.sort_uniq compare (List.filter (fun h -> h <> id) others)
+              in
+              if holders <> [] then begin
+                (* no is_blocked guard: replacement re-blocks too *)
+                W.set_wait g ~waiter:id ~holders "e";
+                R.set_wait r ~waiter:id ~holders "e"
+              end
+          | 1 ->
+              W.clear_wait g id;
+              R.clear_wait r id
+          | 2 ->
+              W.remove_txn g id;
+              R.remove_txn r id
+          | _ ->
+              W.add_txn g id;
+              R.add_txn r id);
+          agree others)
+        script)
+
 let () =
   Alcotest.run "prb_wfg"
     [
@@ -185,5 +254,6 @@ let () =
           Alcotest.test_case "pp / dot" `Quick test_pp_and_dot;
           QCheck_alcotest.to_alcotest qcheck_would_deadlock_oracle;
           QCheck_alcotest.to_alcotest qcheck_dense_vs_reference;
+          QCheck_alcotest.to_alcotest qcheck_dynamic_order_vs_reference;
         ] );
     ]
